@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Trace-driven packet-level simulator (CODES 1.0.0 equivalent).
+//!
+//! The paper measures stencil-application communication times with CODES,
+//! configured so that only link bandwidth, buffering, and routing matter
+//! (router delay, soft delay, NIC delay and per-byte copy cost all zero).
+//! This crate reimplements that slice as an event-driven store-and-forward
+//! packet simulation:
+//!
+//! * every channel (host injection, switch-to-switch, host ejection) is a
+//!   FIFO server transmitting one packet at a time at the configured
+//!   bandwidth (paper: 20 GB/s, 1500-byte packets → 75 ns per packet);
+//! * each channel buffers at most [`AppSimConfig::buffer_packets`] packets
+//!   (paper: 64); a full buffer back-pressures the upstream channel,
+//!   which holds its head packet until space frees (tree saturation
+//!   propagates, as in credit-based networks);
+//! * each host NIC interleaves its flows round-robin and routes every
+//!   packet at injection time with the configured mechanism — the two the
+//!   paper adds to CODES: `random` and `KSP-adaptive`;
+//! * time is integer picoseconds, so runs are exactly reproducible.
+//!
+//! The reported communication time is the makespan: the instant the last
+//! packet of the trace is ejected.
+
+pub mod event;
+pub mod sim;
+
+pub use event::AppMechanism;
+pub use sim::{simulate, simulate_phases, AppSimConfig, AppSimResult};

@@ -1,0 +1,107 @@
+//! Criterion benchmarks for the path-selection algorithms, including the
+//! ablations called out in DESIGN.md:
+//!
+//! * per-pair cost of KSP / rKSP / EDKSP / rEDKSP on the paper's small
+//!   and medium topologies;
+//! * `ablation_k`: Yen's algorithm cost as k grows (4 / 8 / 16);
+//! * `ablation_tiebreak`: deterministic vs. randomized search overhead;
+//! * all-pairs shortest-path table construction (per-source BFS trees vs.
+//!   per-pair searches).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jellyfish_routing::{PairSet, PathSelection, PathTable};
+use jellyfish_topology::{build_rrg, ConstructionMethod, Graph, RrgParams};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn topo(params: RrgParams, seed: u64) -> Graph {
+    build_rrg(params, ConstructionMethod::Incremental, seed).unwrap()
+}
+
+fn bench_selections_per_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_pair_k8");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for (name, params) in [
+        ("RRG(36,24,16)", RrgParams::small()),
+        ("RRG(720,24,19)", RrgParams::medium()),
+    ] {
+        let g = topo(params, 1);
+        for sel in [
+            PathSelection::Ksp(8),
+            PathSelection::RKsp(8),
+            PathSelection::EdKsp(8),
+            PathSelection::REdKsp(8),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(sel.name(), name),
+                &g,
+                |b, g| {
+                    let mut pair = 0u32;
+                    b.iter(|| {
+                        // Rotate through pairs to avoid a cache-friendly
+                        // single pair dominating.
+                        pair = (pair + 1) % (g.num_nodes() as u32 - 1);
+                        let src = pair % g.num_nodes() as u32;
+                        let dst = (pair * 7 + 1) % g.num_nodes() as u32;
+                        let dst = if dst == src { (dst + 1) % g.num_nodes() as u32 } else { dst };
+                        black_box(sel.paths_for_pair(g, src, dst, 42))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_ablation_k(c: &mut Criterion) {
+    let g = topo(RrgParams::small(), 1);
+    let mut group = c.benchmark_group("ablation_k");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for k in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("KSP", k), &k, |b, &k| {
+            b.iter(|| black_box(PathSelection::Ksp(k).paths_for_pair(&g, 0, 19, 0)))
+        });
+        group.bench_with_input(BenchmarkId::new("EDKSP", k), &k, |b, &k| {
+            b.iter(|| black_box(PathSelection::EdKsp(k).paths_for_pair(&g, 0, 19, 0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_tiebreak(c: &mut Criterion) {
+    let g = topo(RrgParams::medium(), 2);
+    let mut group = c.benchmark_group("ablation_tiebreak");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group.bench_function("deterministic", |b| {
+        b.iter(|| black_box(PathSelection::Ksp(8).paths_for_pair(&g, 3, 567, 0)))
+    });
+    group.bench_function("randomized", |b| {
+        b.iter(|| black_box(PathSelection::RKsp(8).paths_for_pair(&g, 3, 567, 0)))
+    });
+    group.finish();
+}
+
+fn bench_all_pairs_sp(c: &mut Criterion) {
+    let g = topo(RrgParams::small(), 3);
+    let mut group = c.benchmark_group("all_pairs_sp");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group.sample_size(20);
+    group.bench_function("per_source_bfs", |b| {
+        b.iter(|| black_box(PathTable::all_pairs_shortest(&g, true, 5)))
+    });
+    group.bench_function("per_pair_search", |b| {
+        b.iter(|| {
+            black_box(PathTable::compute(&g, PathSelection::SinglePath, &PairSet::AllPairs, 5))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selections_per_pair,
+    bench_ablation_k,
+    bench_ablation_tiebreak,
+    bench_all_pairs_sp
+);
+criterion_main!(benches);

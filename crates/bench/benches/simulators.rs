@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the two simulators: cycles/second of the
+//! flit-level simulator and packets/second of the trace simulator, plus
+//! the `ablation_ugal_estimate` comparison from DESIGN.md (how much the
+//! adaptive estimate costs per run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jellyfish_flitsim::{Mechanism, SimConfig, Simulator};
+use jellyfish_routing::{PairSet, PathSelection, PathTable};
+use jellyfish_topology::{build_rrg, ConstructionMethod, Graph, RrgParams};
+use jellyfish_traffic::{stencil_trace, Mapping, PacketDestinations, StencilApp, StencilKind};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn setup() -> (Graph, RrgParams, PathTable) {
+    let params = RrgParams::small();
+    let g = build_rrg(params, ConstructionMethod::Incremental, 1).unwrap();
+    let table = PathTable::compute(&g, PathSelection::REdKsp(8), &PairSet::AllPairs, 0);
+    (g, params, table)
+}
+
+/// One short flit-sim run (500 + 1000 cycles) at moderate load.
+fn bench_flitsim_mechanisms(c: &mut Criterion) {
+    let (g, params, table) = setup();
+    let sp = PathTable::all_pairs_shortest(&g, true, 2);
+    let mut cfg = SimConfig::paper();
+    cfg.num_samples = 2;
+    let pattern = PacketDestinations::Uniform { num_hosts: params.num_hosts() };
+    let mut group = c.benchmark_group("flitsim_run");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    for mech in [Mechanism::Random, Mechanism::VanillaUgal, Mechanism::KspAdaptive] {
+        group.bench_with_input(BenchmarkId::from_parameter(mech.name()), &mech, |b, &mech| {
+            b.iter(|| {
+                let mut sim = Simulator::new(
+                    &g,
+                    params,
+                    &table,
+                    Some(&sp),
+                    mech,
+                    pattern.clone(),
+                    0.3,
+                    cfg,
+                );
+                black_box(sim.run())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Trace simulator throughput on a small stencil workload.
+fn bench_appsim(c: &mut Criterion) {
+    use jellyfish_appsim::{simulate, AppMechanism, AppSimConfig};
+    let params = RrgParams::new(36, 12, 8);
+    let g = build_rrg(params, ConstructionMethod::Incremental, 3).unwrap();
+    let table = PathTable::compute(&g, PathSelection::REdKsp(8), &PairSet::AllPairs, 0);
+    let app = StencilApp::for_ranks(StencilKind::Nn2d, params.num_hosts()).unwrap();
+    let trace = stencil_trace(&app, Mapping::Linear, 150_000, params.num_hosts());
+    let mut group = c.benchmark_group("appsim_trace");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    for mech in [AppMechanism::Random, AppMechanism::KspAdaptive] {
+        group.bench_with_input(BenchmarkId::from_parameter(mech.name()), &mech, |b, &mech| {
+            b.iter(|| {
+                black_box(simulate(&g, params, &table, mech, &trace, AppSimConfig::paper()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flitsim_mechanisms, bench_appsim);
+criterion_main!(benches);

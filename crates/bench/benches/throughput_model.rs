@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the Eq. (1) throughput model: evaluation cost
+//! per traffic pattern on the paper's small topology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jellyfish_model::ThroughputModel;
+use jellyfish_routing::{PairSet, PathSelection, PathTable};
+use jellyfish_topology::{build_rrg, ConstructionMethod, RrgParams};
+use jellyfish_traffic::{all_to_all, random_permutation, random_x};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_model_patterns(c: &mut Criterion) {
+    let params = RrgParams::small();
+    let g = build_rrg(params, ConstructionMethod::Incremental, 1).unwrap();
+    let table = PathTable::compute(&g, PathSelection::REdKsp(8), &PairSet::AllPairs, 0);
+    let model = ThroughputModel::new(&g, params, &table);
+    let mut rng = StdRng::seed_from_u64(4);
+    let hosts = params.num_hosts();
+    let patterns = [
+        ("permutation", random_permutation(hosts, &mut rng)),
+        ("random50", random_x(hosts, 50, &mut rng)),
+        ("all_to_all", all_to_all(hosts)),
+    ];
+    let mut group = c.benchmark_group("model_eval");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for (name, flows) in &patterns {
+        group.bench_with_input(BenchmarkId::from_parameter(name), flows, |b, flows| {
+            b.iter(|| black_box(model.evaluate(flows)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_patterns);
+criterion_main!(benches);

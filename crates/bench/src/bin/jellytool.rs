@@ -1,0 +1,167 @@
+//! `jellytool` — command-line utilities around the library.
+//!
+//! ```text
+//! jellytool topo  --switches N --ports X --net-ports Y [--seed S] [--dot FILE]
+//!     print Table-I style metrics (and optionally export Graphviz DOT)
+//!
+//! jellytool paths --switches N --ports X --net-ports Y --src A --dst B
+//!                 [--seed S] [--k K]
+//!     print the paths every selection scheme computes for one pair
+//!
+//! jellytool table --switches N --ports X --net-ports Y --selection NAME
+//!                 --out FILE [--seed S] [--k K]
+//!     compute an all-pairs path table and save it (text format)
+//! ```
+
+use jellyfish::prelude::*;
+use jellyfish::routing::save_table;
+use jellyfish::topology::analysis::{distance_histogram, estimate_bisection, to_dot};
+use jellyfish::JellyfishNetwork;
+use jellyfish_routing::PairSet;
+use std::collections::HashMap;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  jellytool topo  --switches N --ports X --net-ports Y [--seed S] [--dot FILE]\n  \
+         jellytool paths --switches N --ports X --net-ports Y --src A --dst B [--seed S] [--k K]\n  \
+         jellytool table --switches N --ports X --net-ports Y --selection <sp|ksp|rksp|edksp|redksp> --out FILE [--seed S] [--k K]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else { usage() };
+        let Some(value) = it.next() else { usage() };
+        map.insert(name.to_string(), value.clone());
+    }
+    map
+}
+
+fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str) -> Option<T> {
+    flags.get(key).and_then(|v| v.parse().ok())
+}
+
+fn required<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str) -> T {
+    num(flags, key).unwrap_or_else(|| {
+        eprintln!("missing or invalid --{key}");
+        usage()
+    })
+}
+
+fn network(flags: &HashMap<String, String>) -> (RrgParams, JellyfishNetwork, u64) {
+    let params = RrgParams::new(
+        required(flags, "switches"),
+        required(flags, "ports"),
+        required(flags, "net-ports"),
+    );
+    let seed: u64 = num(flags, "seed").unwrap_or(1);
+    match JellyfishNetwork::build(params, seed) {
+        Ok(net) => (params, net, seed),
+        Err(e) => {
+            eprintln!("cannot build RRG: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn selection(name: &str, k: usize) -> PathSelection {
+    match name {
+        "sp" => PathSelection::SinglePath,
+        "ksp" => PathSelection::Ksp(k),
+        "rksp" => PathSelection::RKsp(k),
+        "edksp" => PathSelection::EdKsp(k),
+        "redksp" => PathSelection::REdKsp(k),
+        other => {
+            eprintln!("unknown selection {other:?}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else { usage() };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "topo" => topo(&flags),
+        "paths" => paths(&flags),
+        "table" => table(&flags),
+        _ => usage(),
+    }
+}
+
+fn topo(flags: &HashMap<String, String>) {
+    let (params, net, seed) = network(flags);
+    let stats = net.stats();
+    println!(
+        "RRG({}, {}, {}) seed {seed}: {} hosts, {} switch links",
+        params.switches,
+        params.ports,
+        params.network_ports,
+        params.num_hosts(),
+        net.graph().num_edges()
+    );
+    println!(
+        "avg shortest path {:.3} hops, diameter {}",
+        stats.avg_shortest_path_len, stats.diameter
+    );
+    let hist = distance_histogram(net.graph());
+    for (d, &c) in hist.counts.iter().enumerate().skip(1) {
+        println!(
+            "  {d}-hop pairs: {c} ({:.1}% cumulative)",
+            hist.cumulative_fraction(d) * 100.0
+        );
+    }
+    let bis = estimate_bisection(net.graph(), 8, seed);
+    println!(
+        "bisection estimate: {} edges ({:.0}% of edges)",
+        bis.min_cut_edges,
+        bis.min_cut_edges as f64 / net.graph().num_edges() as f64 * 100.0
+    );
+    if let Some(path) = flags.get("dot") {
+        std::fs::write(path, to_dot(net.graph(), "jellyfish")).expect("write DOT file");
+        println!("wrote {path}");
+    }
+}
+
+fn paths(flags: &HashMap<String, String>) {
+    let (_, net, seed) = network(flags);
+    let src: u32 = required(flags, "src");
+    let dst: u32 = required(flags, "dst");
+    let k: usize = num(flags, "k").unwrap_or(8);
+    for sel in [
+        PathSelection::Ksp(k),
+        PathSelection::RKsp(k),
+        PathSelection::EdKsp(k),
+        PathSelection::REdKsp(k),
+    ] {
+        let found = sel.paths_for_pair(net.graph(), src, dst, seed);
+        println!("{} ({} paths):", sel.name(), found.len());
+        for p in &found {
+            let hops = p.len() - 1;
+            let nodes: Vec<String> = p.iter().map(u32::to_string).collect();
+            println!("  [{hops} hops] {}", nodes.join(" -> "));
+        }
+    }
+}
+
+fn table(flags: &HashMap<String, String>) {
+    let (_, net, seed) = network(flags);
+    let k: usize = num(flags, "k").unwrap_or(8);
+    let sel_name = flags.get("selection").map(String::as_str).unwrap_or_else(|| usage());
+    let out = flags.get("out").unwrap_or_else(|| usage());
+    let sel = selection(sel_name, k);
+    let t0 = std::time::Instant::now();
+    let table = net.paths(sel, &PairSet::AllPairs, seed);
+    save_table(&table, std::path::Path::new(out)).expect("write table");
+    println!(
+        "computed {} ({} pairs, max {} hops) in {:.1?}; saved to {out}",
+        sel.name(),
+        table.num_pairs(),
+        table.max_hops(),
+        t0.elapsed()
+    );
+}

@@ -1,0 +1,117 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--paper] [--seed N]
+//!
+//! experiments:
+//!   table1 table2 table3 table4      topology & path-quality tables
+//!   fig4 fig5 fig6                   throughput-model figures
+//!   fig7 fig8 fig9 fig10             saturation-throughput figures
+//!   fig11 fig12 fig13                latency-vs-load figures
+//!   table5 table6                    stencil communication-time tables
+//!   properties                       tables 2-4 in one pass
+//!   collectives                      MPI collectives extension
+//!   ablation-k ablation-llskr ablation-construction
+//!   ablation-ugal-bias ablation-estimate ablation-flits
+//!   ablation-injection ablations
+//!   all                              every table & figure above
+//!
+//! flags:
+//!   --paper    full paper-scale instance counts and volumes
+//!   --seed N   base RNG seed (default 2021)
+//! ```
+
+use jellyfish_bench::experiments::{ablation, collective, latency, model, properties, saturation, stencil};
+use jellyfish_bench::Scale;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table1|table2|table3|table4|properties|fig4..fig13|table5|table6|\
+         collectives|ablation-k|ablation-llskr|ablation-construction|ablation-ugal-bias|\
+         ablation-estimate|ablation-flits|ablation-injection|ablations|all> [--paper] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(what) = args.next() else { usage() };
+    let mut scale = Scale::Quick;
+    let mut seed = 2021u64;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--paper" => scale = Scale::Paper,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+
+    let t0 = Instant::now();
+    run(&what, scale, seed);
+    eprintln!("\n[{}] done in {:.1?}", what, t0.elapsed());
+}
+
+fn run(what: &str, scale: Scale, seed: u64) {
+    match what {
+        "table1" => properties::print_table1(&properties::table1(seed)),
+        "table2" | "table3" | "table4" | "properties" => {
+            let cells = properties::property_cells(scale, seed);
+            properties::print_property_tables(&cells);
+        }
+        "fig4" | "fig5" | "fig6" => {
+            let which: u8 = what[3..].parse().expect("figure index");
+            model::print_model_figure(&model::figure(which, scale, seed));
+        }
+        "fig7" | "fig8" | "fig9" | "fig10" => {
+            let which: u8 = what[3..].parse().expect("figure index");
+            saturation::print_saturation_figure(&saturation::figure(which, scale, seed));
+        }
+        "fig11" | "fig12" | "fig13" => {
+            let which: u8 = what[3..].parse().expect("figure index");
+            latency::print_latency_figure(&latency::figure(which, scale, seed));
+        }
+        "ablation-k" => ablation::ablation_k(scale, seed),
+        "ablation-llskr" => ablation::ablation_llskr(scale, seed),
+        "ablation-construction" => ablation::ablation_construction(seed),
+        "ablation-ugal-bias" => ablation::ablation_ugal_bias(scale, seed),
+        "ablation-injection" => ablation::ablation_injection(scale, seed),
+        "ablation-estimate" => ablation::ablation_estimate(scale, seed),
+        "ablation-flits" => ablation::ablation_flits(scale, seed),
+        "collectives" => collective::print_collectives(&collective::collectives(scale, seed)),
+        "ablations" => {
+            ablation::ablation_k(scale, seed);
+            println!();
+            ablation::ablation_llskr(scale, seed);
+            println!();
+            ablation::ablation_construction(seed);
+            println!();
+            ablation::ablation_ugal_bias(scale, seed);
+            println!();
+            ablation::ablation_estimate(scale, seed);
+            println!();
+            ablation::ablation_flits(scale, seed);
+            println!();
+            ablation::ablation_injection(scale, seed);
+        }
+        "table5" => stencil::print_stencil_table(&stencil::table(true, scale, seed), true),
+        "table6" => stencil::print_stencil_table(&stencil::table(false, scale, seed), false),
+        "all" => {
+            for exp in [
+                "table1", "properties", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+                "fig10", "fig11", "fig12", "fig13", "table5", "table6",
+            ] {
+                let t = Instant::now();
+                println!("=== {exp} ===");
+                run(exp, scale, seed);
+                println!("--- {exp} finished in {:.1?} ---\n", t.elapsed());
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,228 @@
+//! Figures 4–6: throughput-model results per topology × traffic pattern
+//! × path selection.
+
+use super::{paper_topologies, selections_k8};
+use crate::scale::Scale;
+use jellyfish::prelude::*;
+use jellyfish::JellyfishNetwork;
+use jellyfish_routing::PairSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Model-experiment traffic patterns (paper Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelPattern {
+    /// Random permutation over hosts.
+    Permutation,
+    /// Random shift-N over hosts.
+    Shift,
+    /// Random(X): X random destinations per host.
+    RandomX(usize),
+    /// All-to-all over hosts.
+    AllToAll,
+}
+
+impl ModelPattern {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            ModelPattern::Permutation => "permutation".into(),
+            ModelPattern::Shift => "shift".into(),
+            ModelPattern::RandomX(x) => format!("random({x})"),
+            ModelPattern::AllToAll => "all-to-all".into(),
+        }
+    }
+
+    /// Generates one flow-list instance.
+    pub fn generate(&self, num_hosts: usize, rng: &mut StdRng) -> Vec<Flow> {
+        match self {
+            ModelPattern::Permutation => random_permutation(num_hosts, rng),
+            ModelPattern::Shift => random_shift(num_hosts, rng),
+            ModelPattern::RandomX(x) => random_x(num_hosts, *x, rng),
+            ModelPattern::AllToAll => all_to_all(num_hosts),
+        }
+    }
+
+    /// Whether the pattern is deterministic (one instance suffices).
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, ModelPattern::AllToAll)
+    }
+}
+
+/// Which patterns a figure runs at the given scale (the heavy all-to-all
+/// and Random(50) workloads are paper-scale-only on the larger fabrics).
+pub fn patterns_for(params: &RrgParams, scale: Scale) -> Vec<ModelPattern> {
+    let all = vec![
+        ModelPattern::Permutation,
+        ModelPattern::Shift,
+        ModelPattern::RandomX(50),
+        ModelPattern::AllToAll,
+    ];
+    if scale.heavy_model_patterns() || params.switches <= 100 {
+        all
+    } else {
+        // Path-table construction dominates on one core; the medium and
+        // large fabrics keep the two cheap patterns at quick scale.
+        vec![ModelPattern::Permutation, ModelPattern::Shift]
+    }
+}
+
+/// Mean normalized throughput per (pattern, scheme); schemes are SP plus
+/// the four k = 8 selections.
+#[derive(Debug, Clone)]
+pub struct ModelFigure {
+    /// Topology label.
+    pub topology: &'static str,
+    /// pattern name -> scheme name -> mean throughput.
+    pub results: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+/// Runs the model experiment for one topology (Figure 4, 5 or 6).
+pub fn model_figure(
+    name: &'static str,
+    params: RrgParams,
+    scale: Scale,
+    seed: u64,
+) -> ModelFigure {
+    let patterns = patterns_for(&params, scale);
+    // The large fabric gets fewer instances at quick scale: path tables
+    // dominate the cost and the variance across instances is small
+    // (paper Section II: large instances behave alike).
+    let topo_instances = if params.switches > 100 && scale == Scale::Quick {
+        1
+    } else {
+        scale.topo_instances()
+    };
+    let traffic_instances = scale.model_traffic_instances_for(&params);
+
+    let mut sums: BTreeMap<String, BTreeMap<String, (f64, usize)>> = BTreeMap::new();
+    for ti in 0..topo_instances {
+        let net = JellyfishNetwork::build(params, seed + ti as u64).expect("topology builds");
+        // Generate every traffic instance up front, then compute each
+        // selection's table once over the union of switch pairs.
+        let mut instances: Vec<(String, Vec<Flow>)> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF ^ ti as u64);
+        for p in &patterns {
+            let n = if p.is_deterministic() { 1 } else { traffic_instances };
+            for _ in 0..n {
+                instances.push((p.name(), p.generate(params.num_hosts(), &mut rng)));
+            }
+        }
+        let mut union: Vec<(u32, u32)> = Vec::new();
+        for (_, flows) in &instances {
+            union.extend(switch_pairs(flows, &params));
+        }
+        union.sort_unstable();
+        union.dedup();
+        let pairs = PairSet::Pairs(union);
+
+        let mut schemes: Vec<(String, PathSelection)> =
+            vec![("SP".into(), PathSelection::SinglePath)];
+        schemes.extend(selections_k8().into_iter().map(|s| (s.name(), s)));
+        for (scheme_name, sel) in schemes {
+            let table = net.paths(sel, &pairs, seed ^ 0xF00D ^ ti as u64);
+            for (pat_name, flows) in &instances {
+                let r = net.model_throughput(&table, flows);
+                let slot = sums
+                    .entry(pat_name.clone())
+                    .or_default()
+                    .entry(scheme_name.clone())
+                    .or_insert((0.0, 0));
+                slot.0 += r.mean;
+                slot.1 += 1;
+            }
+        }
+    }
+
+    let results = sums
+        .into_iter()
+        .map(|(pat, schemes)| {
+            (
+                pat,
+                schemes
+                    .into_iter()
+                    .map(|(s, (sum, n))| (s, sum / n as f64))
+                    .collect(),
+            )
+        })
+        .collect();
+    ModelFigure { topology: name, results }
+}
+
+/// Prints one model figure as a table.
+pub fn print_model_figure(fig: &ModelFigure) {
+    println!("Model throughput on {} (mean per-node normalized throughput)", fig.topology);
+    let schemes = ["SP", "KSP(8)", "rKSP(8)", "EDKSP(8)", "rEDKSP(8)"];
+    print!("{:<14}", "pattern");
+    for s in schemes {
+        print!(" {s:>10}");
+    }
+    println!();
+    for (pat, vals) in &fig.results {
+        print!("{pat:<14}");
+        for s in schemes {
+            match vals.get(s) {
+                Some(v) => print!(" {v:>10.3}"),
+                None => print!(" {:>10}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Figure 4 (small), 5 (medium) or 6 (large) by index 4/5/6.
+pub fn figure(which: u8, scale: Scale, seed: u64) -> ModelFigure {
+    let topos = paper_topologies();
+    let (name, params) = match which {
+        4 => topos[0],
+        5 => topos[1],
+        6 => topos[2],
+        _ => panic!("model figures are 4, 5 and 6"),
+    };
+    model_figure(name, params, scale, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_plumbing() {
+        assert_eq!(ModelPattern::RandomX(50).name(), "random(50)");
+        assert!(ModelPattern::AllToAll.is_deterministic());
+        assert!(!ModelPattern::Shift.is_deterministic());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(ModelPattern::AllToAll.generate(4, &mut rng).len(), 12);
+    }
+
+    #[test]
+    fn heavy_patterns_are_gated() {
+        assert_eq!(patterns_for(&RrgParams::small(), Scale::Quick).len(), 4);
+        assert_eq!(patterns_for(&RrgParams::medium(), Scale::Quick).len(), 2);
+        assert_eq!(patterns_for(&RrgParams::large(), Scale::Quick).len(), 2);
+        assert_eq!(patterns_for(&RrgParams::large(), Scale::Paper).len(), 4);
+    }
+
+    #[test]
+    fn small_model_figure_reproduces_ordering() {
+        // A reduced figure-4 run on a y >> k topology (the regime the
+        // paper studies): rEDKSP >= KSP on every pattern, and multi-path
+        // beats SP on the sparse patterns. Under all-to-all every scheme
+        // is NIC-bound in the model, so there multi-path only has to
+        // match SP.
+        let params = RrgParams::new(24, 24, 16);
+        let fig = model_figure("test-rrg", params, Scale::Quick, 5);
+        for (pat, vals) in &fig.results {
+            let sp = vals["SP"];
+            let ksp = vals["KSP(8)"];
+            let redksp = vals["rEDKSP(8)"];
+            assert!(redksp >= ksp * 0.97, "{pat}: rEDKSP {redksp} vs KSP {ksp}");
+            if pat == "all-to-all" {
+                assert!(redksp >= sp * 0.9, "{pat}: rEDKSP {redksp} far below SP {sp}");
+            } else {
+                assert!(redksp > sp, "{pat}: multi-path {redksp} should beat SP {sp}");
+            }
+        }
+    }
+}

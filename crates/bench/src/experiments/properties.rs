@@ -1,0 +1,200 @@
+//! Tables I–IV: topology metrics and path-quality properties.
+
+use super::{paper_topologies, property_pairs, selections_k8};
+use crate::scale::Scale;
+use jellyfish::JellyfishNetwork;
+use jellyfish_routing::PathProperties;
+
+/// Table I row: measured topology statistics.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Topology label.
+    pub name: &'static str,
+    /// Switch count.
+    pub switches: usize,
+    /// Compute-node count.
+    pub hosts: usize,
+    /// Measured average shortest path length.
+    pub avg_spl: f64,
+    /// The paper's Table I value.
+    pub paper_avg_spl: f64,
+}
+
+/// Table I: topology parameters and average shortest path length.
+pub fn table1(seed: u64) -> Vec<Table1Row> {
+    let paper = [1.54, 2.57, 2.59];
+    paper_topologies()
+        .into_iter()
+        .zip(paper)
+        .map(|((name, params), paper_avg_spl)| {
+            let net = JellyfishNetwork::build(params, seed).expect("topology builds");
+            let stats = net.stats();
+            Table1Row {
+                name,
+                switches: params.switches,
+                hosts: params.num_hosts(),
+                avg_spl: stats.avg_shortest_path_len,
+                paper_avg_spl,
+            }
+        })
+        .collect()
+}
+
+/// Prints Table I.
+pub fn print_table1(rows: &[Table1Row]) {
+    println!("Table I: Jellyfish topologies (avg shortest path length)");
+    println!("{:<18} {:>8} {:>8} {:>10} {:>10}", "topology", "switches", "hosts", "avg spl", "paper");
+    for r in rows {
+        println!(
+            "{:<18} {:>8} {:>8} {:>10.2} {:>10.2}",
+            r.name, r.switches, r.hosts, r.avg_spl, r.paper_avg_spl
+        );
+    }
+}
+
+/// One (topology, selection) cell of Tables II–IV.
+#[derive(Debug, Clone)]
+pub struct PropertyCell {
+    /// Topology label.
+    pub topology: &'static str,
+    /// Path-selection scheme name.
+    pub selection: String,
+    /// Measured path-quality statistics.
+    pub props: PathProperties,
+}
+
+/// Computes the Tables II–IV statistics for every topology × selection.
+pub fn property_cells(scale: Scale, seed: u64) -> Vec<PropertyCell> {
+    let mut out = Vec::new();
+    for (name, params) in paper_topologies() {
+        let net = JellyfishNetwork::build(params, seed).expect("topology builds");
+        let pairs = property_pairs(&params, scale.property_pair_sample(&params), seed ^ 0xA5);
+        for sel in selections_k8() {
+            let table = net.paths(sel, &pairs, seed ^ 0x5A);
+            let props = net.path_properties(&table);
+            out.push(PropertyCell { topology: name, selection: sel.name(), props });
+        }
+    }
+    out
+}
+
+/// Paper reference values for Tables II–IV, in
+/// (topology, KSP, rKSP, EDKSP, rEDKSP) order.
+pub struct PaperPropertyRefs {
+    /// Table II values per (topology, selection).
+    pub avg_len: [[f64; 4]; 3],
+    /// Table III fractions per (topology, selection).
+    pub disjoint_pct: [[f64; 4]; 3],
+    /// Table IV values per (topology, selection).
+    pub max_share: [[usize; 4]; 3],
+}
+
+/// The paper's Tables II–IV numbers.
+pub fn paper_property_refs() -> PaperPropertyRefs {
+    PaperPropertyRefs {
+        avg_len: [
+            [2.06, 2.06, 2.06, 2.06],
+            [3.02, 3.02, 3.16, 3.16],
+            [2.94, 2.94, 2.94, 2.94],
+        ],
+        disjoint_pct: [
+            [0.56, 0.59, 1.0, 1.0],
+            [0.02, 0.03, 1.0, 1.0],
+            [0.09, 0.22, 1.0, 1.0],
+        ],
+        max_share: [[6, 3, 1, 1], [7, 7, 1, 1], [7, 6, 1, 1]],
+    }
+}
+
+/// Prints Tables II, III and IV from the computed cells.
+pub fn print_property_tables(cells: &[PropertyCell]) {
+    let refs = paper_property_refs();
+    let topo_names: Vec<&str> = paper_topologies().iter().map(|(n, _)| *n).collect();
+    let sel_names: Vec<String> = selections_k8().iter().map(|s| s.name()).collect();
+
+    let cell = |t: &str, s: &str| {
+        cells
+            .iter()
+            .find(|c| c.topology == t && c.selection == s)
+            .expect("cell computed")
+    };
+
+    println!("Table II: average path length (k = 8)   [measured | paper]");
+    print!("{:<18}", "topology");
+    for s in &sel_names {
+        print!(" {s:>16}");
+    }
+    println!();
+    for (ti, t) in topo_names.iter().enumerate() {
+        print!("{t:<18}");
+        for (si, s) in sel_names.iter().enumerate() {
+            let c = cell(t, s);
+            print!(" {:>8.2} | {:>4.2}", c.props.avg_path_len, refs.avg_len[ti][si]);
+        }
+        println!();
+    }
+
+    println!("\nTable III: % switch pairs with fully link-disjoint paths (k = 8)");
+    for (ti, t) in topo_names.iter().enumerate() {
+        print!("{t:<18}");
+        for (si, s) in sel_names.iter().enumerate() {
+            let c = cell(t, s);
+            print!(
+                " {:>7.0}% | {:>3.0}%",
+                c.props.disjoint_pair_fraction * 100.0,
+                refs.disjoint_pct[ti][si] * 100.0
+            );
+        }
+        println!();
+    }
+
+    println!("\nTable IV: max paths of one pair sharing a link (k = 8)");
+    for (ti, t) in topo_names.iter().enumerate() {
+        print!("{t:<18}");
+        for (si, s) in sel_names.iter().enumerate() {
+            let c = cell(t, s);
+            print!(" {:>9} | {:>4}", c.props.max_link_share, refs.max_share[ti][si]);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jellyfish::prelude::*;
+
+    #[test]
+    fn table1_small_matches_paper_band() {
+        // Only the small topology to keep the test fast; medium/large are
+        // covered by the harness binary.
+        let net = JellyfishNetwork::build(RrgParams::small(), 3).unwrap();
+        let s = net.stats();
+        assert!((1.45..1.65).contains(&s.avg_shortest_path_len), "{}", s.avg_shortest_path_len);
+    }
+
+    #[test]
+    fn small_topology_properties_match_paper_shape() {
+        let net = JellyfishNetwork::build(RrgParams::small(), 3).unwrap();
+        let pairs = PairSet::AllPairs;
+        let mut by_sel = std::collections::HashMap::new();
+        for sel in selections_k8() {
+            let t = net.paths(sel, &pairs, 11);
+            by_sel.insert(sel.name(), net.path_properties(&t));
+        }
+        // EDKSP/rEDKSP fully disjoint, KSP badly shared (Table III/IV).
+        assert_eq!(by_sel["EDKSP(8)"].disjoint_pair_fraction, 1.0);
+        assert_eq!(by_sel["rEDKSP(8)"].max_link_share, 1);
+        assert!(by_sel["KSP(8)"].disjoint_pair_fraction < 0.9);
+        assert!(by_sel["KSP(8)"].max_link_share >= 3);
+        // Randomization doesn't lengthen paths (Table II).
+        assert!(
+            (by_sel["KSP(8)"].avg_path_len - by_sel["rKSP(8)"].avg_path_len).abs() < 1e-9
+        );
+        // Average lengths near the paper's 2.06.
+        for sel in ["KSP(8)", "rKSP(8)", "EDKSP(8)", "rEDKSP(8)"] {
+            let len = by_sel[sel].avg_path_len;
+            assert!((1.9..2.3).contains(&len), "{sel}: {len}");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Figures 7–10: saturation throughput per path selection × routing
+//! mechanism under random permutation / random shift traffic.
+
+use super::selections_k8;
+use crate::scale::Scale;
+use jellyfish::prelude::*;
+use jellyfish::JellyfishNetwork;
+use jellyfish_flitsim::SweepConfig;
+use jellyfish_routing::PairSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+/// Traffic for the saturation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimPattern {
+    /// Random permutation over hosts.
+    Permutation,
+    /// Random shift-N over hosts.
+    Shift,
+}
+
+impl SimPattern {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimPattern::Permutation => "random permutation",
+            SimPattern::Shift => "random shift",
+        }
+    }
+}
+
+/// Result of one saturation figure.
+#[derive(Debug, Clone)]
+pub struct SaturationFigure {
+    /// Topology label.
+    pub topology: &'static str,
+    /// Traffic pattern label.
+    pub pattern: &'static str,
+    /// mechanism name -> selection name -> mean saturation throughput.
+    pub results: BTreeMap<&'static str, BTreeMap<String, f64>>,
+}
+
+/// Runs one of Figures 7–10.
+///
+/// * 7: permutation on RRG(36,24,16)   * 8: permutation on RRG(720,24,19)
+/// * 9: shift on RRG(36,24,16)         * 10: shift on RRG(720,24,19)
+pub fn figure(which: u8, scale: Scale, seed: u64) -> SaturationFigure {
+    let (name, params, pattern) = match which {
+        7 => ("RRG(36,24,16)", RrgParams::small(), SimPattern::Permutation),
+        8 => ("RRG(720,24,19)", RrgParams::medium(), SimPattern::Permutation),
+        9 => ("RRG(36,24,16)", RrgParams::small(), SimPattern::Shift),
+        10 => ("RRG(720,24,19)", RrgParams::medium(), SimPattern::Shift),
+        _ => panic!("saturation figures are 7-10"),
+    };
+    saturation_figure(name, params, pattern, scale, seed)
+}
+
+/// The full mechanism set of the figures plus the SP baseline.
+pub fn mechanisms() -> [Mechanism; 6] {
+    [
+        Mechanism::SinglePath,
+        Mechanism::Random,
+        Mechanism::RoundRobin,
+        Mechanism::VanillaUgal,
+        Mechanism::KspUgal,
+        Mechanism::KspAdaptive,
+    ]
+}
+
+/// Saturation throughput for every (selection, mechanism) pair, averaged
+/// over random traffic instances.
+pub fn saturation_figure(
+    topology: &'static str,
+    params: RrgParams,
+    pattern: SimPattern,
+    scale: Scale,
+    seed: u64,
+) -> SaturationFigure {
+    let net = JellyfishNetwork::build(params, seed).expect("topology builds");
+    let sp_table = net.shortest_paths(true, seed ^ 0x11);
+    let instances = scale.sim_traffic_instances_for(&params);
+    let selections = selections_k8();
+
+    // Traffic instances and, per instance × selection, the path table.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x22);
+    let mut traffic = Vec::with_capacity(instances);
+    for _ in 0..instances {
+        let flows = match pattern {
+            SimPattern::Permutation => random_permutation(params.num_hosts(), &mut rng),
+            SimPattern::Shift => random_shift(params.num_hosts(), &mut rng),
+        };
+        let pairs = PairSet::Pairs(switch_pairs(&flows, &params));
+        let dests = PacketDestinations::from_flows(params.num_hosts(), &flows);
+        traffic.push((pairs, dests));
+    }
+    let tables: Vec<Vec<PathTable>> = traffic
+        .iter()
+        .enumerate()
+        .map(|(i, (pairs, _))| {
+            selections
+                .iter()
+                .map(|&sel| net.paths(sel, pairs, seed ^ 0x33 ^ i as u64))
+                .collect()
+        })
+        .collect();
+
+    // Flatten (instance, selection, mechanism) into parallel tasks.
+    let mechs = mechanisms();
+    let tasks: Vec<(usize, usize, usize)> = (0..instances)
+        .flat_map(|i| {
+            (0..selections.len())
+                .flat_map(move |s| (0..mechs.len()).map(move |m| (i, s, m)))
+        })
+        .collect();
+    let resolution = scale.saturation_resolution();
+    let measured: Vec<((usize, usize), f64)> = tasks
+        .par_iter()
+        .map(|&(i, s, m)| {
+            let mut sim = scale.sim_config();
+            sim.seed = seed ^ ((i as u64) << 20) ^ ((s as u64) << 10) ^ m as u64;
+            let cfg = SweepConfig {
+                graph: net.graph(),
+                params,
+                table: &tables[i][s],
+                sp_table: Some(&sp_table),
+                mechanism: mechs[m],
+                sim,
+            };
+            let sat =
+                jellyfish_flitsim::saturation_throughput(&cfg, &traffic[i].1, resolution);
+            ((s, m), sat)
+        })
+        .collect();
+
+    let mut sums: BTreeMap<(usize, usize), (f64, usize)> = BTreeMap::new();
+    for ((s, m), sat) in measured {
+        let e = sums.entry((s, m)).or_insert((0.0, 0));
+        e.0 += sat;
+        e.1 += 1;
+    }
+    let mut results: BTreeMap<&'static str, BTreeMap<String, f64>> = BTreeMap::new();
+    for ((s, m), (sum, n)) in sums {
+        results
+            .entry(mechs[m].name())
+            .or_default()
+            .insert(selections[s].name(), sum / n as f64);
+    }
+    SaturationFigure { topology, pattern: pattern.name(), results }
+}
+
+/// Prints a saturation figure as a mechanism × selection table.
+pub fn print_saturation_figure(fig: &SaturationFigure) {
+    println!(
+        "Saturation throughput, {} traffic on {} (packets/node/cycle)",
+        fig.pattern, fig.topology
+    );
+    let sels: Vec<String> = selections_k8().iter().map(|s| s.name()).collect();
+    print!("{:<14}", "mechanism");
+    for s in &sels {
+        print!(" {s:>11}");
+    }
+    println!();
+    for mech in mechanisms() {
+        let row = &fig.results[mech.name()];
+        print!("{:<14}", mech.name());
+        for s in &sels {
+            print!(" {:>11.3}", row[s]);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_indices_validate() {
+        assert_eq!(mechanisms().len(), 6);
+        assert_eq!(SimPattern::Shift.name(), "random shift");
+    }
+
+    #[test]
+    fn mini_saturation_figure_shape() {
+        // A scaled-down permutation figure on a small RRG: every cell
+        // present, every value in (0, 1], and KSP-adaptive with rEDKSP at
+        // least as good as oblivious random with KSP (the paper's
+        // strongest-vs-weakest comparison).
+        let params = RrgParams::new(12, 6, 4);
+        let fig =
+            saturation_figure("test", params, SimPattern::Permutation, Scale::Quick, 3);
+        for mech in mechanisms() {
+            for sel in selections_k8() {
+                let v = fig.results[mech.name()][&sel.name()];
+                assert!(v > 0.0 && v <= 1.0, "{} {} = {v}", mech.name(), sel.name());
+            }
+        }
+        let best = fig.results["KSP-adaptive"]["rEDKSP(8)"];
+        let weak = fig.results["random"]["KSP(8)"];
+        assert!(
+            best >= weak * 0.95,
+            "KSP-adaptive/rEDKSP {best} should not trail random/KSP {weak}"
+        );
+    }
+}

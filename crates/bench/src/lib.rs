@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! Reproduction harness for every table and figure of the paper.
+//!
+//! The `repro` binary (`cargo run --release -p jellyfish-bench --bin
+//! repro -- <experiment>`) regenerates the paper's evaluation artifacts;
+//! the Criterion benches under `benches/` measure the performance of the
+//! library itself (path computation and simulator throughput) plus the
+//! ablations called out in DESIGN.md.
+//!
+//! Experiments run at two scales:
+//!
+//! * [`Scale::Quick`] (default) — fewer random instances and sampled pair
+//!   sets so `repro all` finishes on a laptop in tens of minutes;
+//! * [`Scale::Paper`] — the paper's full instance counts and pair
+//!   coverage.
+//!
+//! Every experiment prints measured values next to the paper's reported
+//! numbers so the reproduction claims in EXPERIMENTS.md are auditable.
+
+pub mod experiments;
+pub mod scale;
+pub mod summary;
+
+pub use scale::Scale;
+pub use summary::Summary;

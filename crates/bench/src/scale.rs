@@ -1,0 +1,121 @@
+//! Experiment scaling knobs.
+
+use jellyfish_flitsim::SimConfig;
+use jellyfish_topology::RrgParams;
+
+/// How big an experiment run is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-friendly: fewer instances, sampled pair sets, reduced trace
+    /// volumes. Preserves every comparison the paper makes.
+    Quick,
+    /// The paper's full instance counts and volumes.
+    Paper,
+}
+
+impl Scale {
+    /// Random topology instances per data point (paper: 10).
+    pub fn topo_instances(&self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Paper => 10,
+        }
+    }
+
+    /// Random traffic instances per topology for the model experiments
+    /// (paper: 50), scaled down with topology size at quick scale since
+    /// path-table construction dominates.
+    pub fn model_traffic_instances_for(&self, params: &RrgParams) -> usize {
+        match self {
+            Scale::Quick if params.switches > 1000 => 1,
+            Scale::Quick if params.switches > 100 => 2,
+            Scale::Quick => 5,
+            Scale::Paper => 50,
+        }
+    }
+
+    /// Random traffic instances for the saturation experiments
+    /// (paper: 10); the medium fabric drops to 1 at quick scale (each
+    /// saturation search is minutes of single-core simulation there, and
+    /// instance variance is small — paper Section II).
+    pub fn sim_traffic_instances_for(&self, params: &RrgParams) -> usize {
+        match self {
+            Scale::Quick if params.switches > 100 => 1,
+            Scale::Quick => 3,
+            Scale::Paper => 10,
+        }
+    }
+
+    /// Ordered switch pairs sampled for path-property tables on large
+    /// topologies; `None` means all pairs.
+    pub fn property_pair_sample(&self, params: &RrgParams) -> Option<usize> {
+        match self {
+            Scale::Quick if params.switches > 100 => Some(4000),
+            Scale::Quick => None,
+            // The paper's tables cover all pairs; at 2880 switches that is
+            // 8.3M Yen runs — still sampled even at paper scale, but ten
+            // times deeper.
+            Scale::Paper if params.switches > 1000 => Some(40_000),
+            Scale::Paper => None,
+        }
+    }
+
+    /// Bytes each rank sends in the stencil traces (paper: 15 MB).
+    pub fn stencil_bytes_per_rank(&self) -> u64 {
+        match self {
+            Scale::Quick => 750_000,
+            Scale::Paper => 15_000_000,
+        }
+    }
+
+    /// Simulator settings: quick scale halves the measurement window
+    /// (5 x 500 cycles instead of the paper's 10 x 500) to keep the
+    /// saturation searches tractable on one core.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::paper();
+        if matches!(self, Scale::Quick) {
+            cfg.num_samples = 5;
+        }
+        cfg
+    }
+
+    /// Saturation-search granularity in injection rate.
+    pub fn saturation_resolution(&self) -> f64 {
+        match self {
+            Scale::Quick => 0.02,
+            Scale::Paper => 0.01,
+        }
+    }
+
+    /// Whether the heaviest workloads (all-to-all / Random(50) on the
+    /// medium and large topologies) are included.
+    pub fn heavy_model_patterns(&self) -> bool {
+        matches!(self, Scale::Paper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_is_bigger() {
+        let small = RrgParams::small();
+        assert!(Scale::Paper.topo_instances() > Scale::Quick.topo_instances());
+        assert!(
+            Scale::Paper.model_traffic_instances_for(&small)
+                > Scale::Quick.model_traffic_instances_for(&small)
+        );
+        assert!(Scale::Paper.stencil_bytes_per_rank() == 15_000_000);
+        assert_eq!(Scale::Paper.sim_config().num_samples, 10);
+        assert_eq!(Scale::Quick.sim_config().num_samples, 5);
+    }
+
+    #[test]
+    fn pair_sampling_only_on_big_topologies() {
+        assert_eq!(Scale::Quick.property_pair_sample(&RrgParams::small()), None);
+        assert!(Scale::Quick.property_pair_sample(&RrgParams::medium()).is_some());
+        assert!(Scale::Paper.property_pair_sample(&RrgParams::medium()).is_none());
+        assert!(Scale::Paper.property_pair_sample(&RrgParams::large()).is_some());
+    }
+}

@@ -1,0 +1,143 @@
+//! Streaming summary statistics (Welford) for experiment aggregation.
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (n-1 denominator; 0 for fewer than two
+    /// observations).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (`NaN`-free: infinity when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges two accumulators (parallel reduction).
+    pub fn merge(mut self, other: Summary) -> Summary {
+        if other.n == 0 {
+            return self;
+        }
+        if self.n == 0 {
+            return other;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set is sqrt(32/7).
+        assert!((s.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let e = Summary::new();
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.stddev(), 0.0);
+        let mut s = Summary::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let all: Summary = (0..100).map(|i| (i as f64).sin()).collect();
+        let a: Summary = (0..37).map(|i| (i as f64).sin()).collect();
+        let b: Summary = (37..100).map(|i| (i as f64).sin()).collect();
+        let merged = a.merge(b);
+        assert_eq!(merged.count(), all.count());
+        assert!((merged.mean() - all.mean()).abs() < 1e-12);
+        assert!((merged.stddev() - all.stddev()).abs() < 1e-12);
+        assert_eq!(merged.min(), all.min());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let s: Summary = [1.0, 2.0].into_iter().collect();
+        let m1 = s.merge(Summary::new());
+        assert_eq!(m1.count(), 2);
+        let m2 = Summary::new().merge(s);
+        assert_eq!(m2.count(), 2);
+        assert!((m2.mean() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,117 @@
+//! Measurement machinery: sample windows and run results.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one simulation run at a fixed offered load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Offered load in packets/node/cycle.
+    pub offered: f64,
+    /// Accepted throughput in packets/node/cycle over the measurement
+    /// phase.
+    pub accepted: f64,
+    /// Mean packet latency (cycles) over all packets ejected during
+    /// measurement; `NaN` if nothing was ejected.
+    pub avg_latency: f64,
+    /// Mean latency per sample window (empty windows report `NaN`).
+    pub sample_latencies: Vec<f64>,
+    /// Whether the network saturated (a sample exceeded the latency
+    /// threshold, a window ejected nothing while traffic was queued, or a
+    /// source queue overflowed).
+    pub saturated: bool,
+    /// Packets generated during measurement.
+    pub generated: u64,
+    /// Packets ejected during measurement.
+    pub ejected: u64,
+    /// Minimum packet latency observed during measurement (0 if none).
+    pub min_latency: u64,
+    /// Maximum packet latency observed during measurement.
+    pub max_latency: u64,
+    /// Ejected-packet counts by network hop count (index = hops).
+    pub hop_histogram: Vec<u64>,
+    /// Mean utilization over directed switch links during measurement
+    /// (fraction of cycles each link carried a packet).
+    pub mean_link_utilization: f64,
+    /// Utilization of the busiest directed link.
+    pub max_link_utilization: f64,
+}
+
+/// Accumulates per-window latency/throughput samples.
+#[derive(Debug, Clone, Default)]
+pub struct SampleAccumulator {
+    window_lat_sum: f64,
+    window_count: u64,
+    /// Per finished window: (mean latency, ejected count).
+    windows: Vec<(f64, u64)>,
+    total_lat_sum: f64,
+    total_count: u64,
+}
+
+impl SampleAccumulator {
+    /// Records an ejected packet's latency.
+    #[inline]
+    pub fn record(&mut self, latency: u64) {
+        self.window_lat_sum += latency as f64;
+        self.window_count += 1;
+        self.total_lat_sum += latency as f64;
+        self.total_count += 1;
+    }
+
+    /// Closes the current window.
+    pub fn end_window(&mut self) {
+        let mean = if self.window_count == 0 {
+            f64::NAN
+        } else {
+            self.window_lat_sum / self.window_count as f64
+        };
+        self.windows.push((mean, self.window_count));
+        self.window_lat_sum = 0.0;
+        self.window_count = 0;
+    }
+
+    /// Per-window mean latencies.
+    pub fn window_means(&self) -> Vec<f64> {
+        self.windows.iter().map(|&(m, _)| m).collect()
+    }
+
+    /// Total ejected packets across closed windows.
+    pub fn total_ejected(&self) -> u64 {
+        self.windows.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Mean latency across all closed windows' packets.
+    pub fn overall_mean(&self) -> f64 {
+        if self.total_count == 0 {
+            f64::NAN
+        } else {
+            self.total_lat_sum / self.total_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_partition_records() {
+        let mut acc = SampleAccumulator::default();
+        acc.record(10);
+        acc.record(20);
+        acc.end_window();
+        acc.record(40);
+        acc.end_window();
+        assert_eq!(acc.window_means(), vec![15.0, 40.0]);
+        assert_eq!(acc.total_ejected(), 3);
+        assert!((acc.overall_mean() - 70.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_is_nan() {
+        let mut acc = SampleAccumulator::default();
+        acc.end_window();
+        assert!(acc.window_means()[0].is_nan());
+        assert!(acc.overall_mean().is_nan());
+        assert_eq!(acc.total_ejected(), 0);
+    }
+}

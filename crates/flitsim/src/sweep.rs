@@ -1,0 +1,231 @@
+//! Load sweeps: saturation-throughput search and latency/load curves.
+//!
+//! The paper reports (a) *saturation throughput* — the last injection rate
+//! before the network saturates (Figures 7–10) — and (b) *average packet
+//! latency vs. offered load* curves (Figures 11–13). Runs at different
+//! rates are independent simulations, so sweeps fan out with rayon.
+
+use crate::config::SimConfig;
+use crate::mechanism::Mechanism;
+use crate::sim::Simulator;
+use crate::stats::RunResult;
+use jellyfish_routing::PathTable;
+use jellyfish_topology::{Graph, RrgParams};
+use jellyfish_traffic::PacketDestinations;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to run the simulator at one offered load.
+#[derive(Clone, Copy)]
+pub struct SweepConfig<'a> {
+    /// Switch-level topology.
+    pub graph: &'a Graph,
+    /// Topology parameters (hosts per switch etc.).
+    pub params: RrgParams,
+    /// Paths used by the routing mechanism.
+    pub table: &'a PathTable,
+    /// All-pairs shortest paths (vanilla UGAL only).
+    pub sp_table: Option<&'a PathTable>,
+    /// Routing mechanism.
+    pub mechanism: Mechanism,
+    /// Simulator settings.
+    pub sim: SimConfig,
+}
+
+/// One point of a latency/load curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// Offered load (packets/node/cycle).
+    pub offered: f64,
+    /// Full run result at this load.
+    pub result: RunResult,
+}
+
+/// Runs the simulator once at `rate`.
+pub fn run_at(cfg: &SweepConfig<'_>, pattern: &PacketDestinations, rate: f64) -> RunResult {
+    let mut sim = Simulator::new(
+        cfg.graph,
+        cfg.params,
+        cfg.table,
+        cfg.sp_table,
+        cfg.mechanism,
+        pattern.clone(),
+        rate,
+        cfg.sim,
+    );
+    sim.run()
+}
+
+/// Finds the saturation throughput: the largest injection rate (at
+/// `resolution` granularity within `[resolution, 1.0]`) that does not
+/// saturate the network.
+///
+/// Uses bisection over the rate axis (saturation is monotone in offered
+/// load for these workloads); each probe is one full simulation. Returns
+/// 0.0 if even the lowest probed rate saturates.
+pub fn saturation_throughput(
+    cfg: &SweepConfig<'_>,
+    pattern: &PacketDestinations,
+    resolution: f64,
+) -> f64 {
+    assert!(resolution > 0.0 && resolution < 1.0, "bad resolution");
+    let steps = (1.0 / resolution).round() as u32;
+    // Bisect over integer step counts: lo survives, hi saturates.
+    if !run_at(cfg, pattern, 1.0).saturated {
+        return 1.0;
+    }
+    let mut lo = 0u32; // rate 0 trivially survives
+    let mut hi = steps;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        let rate = mid as f64 * resolution;
+        if run_at(cfg, pattern, rate).saturated {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo as f64 * resolution
+}
+
+/// Average saturation throughput over several traffic instances
+/// (the paper averages 10 random permutations / shifts). The instance
+/// patterns are provided by `patterns`; runs fan out in parallel.
+pub fn mean_saturation_throughput(
+    cfg: &SweepConfig<'_>,
+    patterns: &[PacketDestinations],
+    resolution: f64,
+) -> f64 {
+    assert!(!patterns.is_empty());
+    let sum: f64 = patterns
+        .par_iter()
+        .map(|p| saturation_throughput(cfg, p, resolution))
+        .sum();
+    sum / patterns.len() as f64
+}
+
+/// Latency vs. offered-load curve at the given rates (parallel).
+pub fn latency_curve(
+    cfg: &SweepConfig<'_>,
+    pattern: &PacketDestinations,
+    rates: &[f64],
+) -> Vec<LoadPoint> {
+    rates
+        .par_iter()
+        .map(|&r| LoadPoint { offered: r, result: run_at(cfg, pattern, r) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jellyfish_routing::{PairSet, PathSelection};
+    use jellyfish_topology::{build_rrg, ConstructionMethod};
+
+    fn setup() -> (Graph, RrgParams) {
+        let p = RrgParams::new(10, 6, 4);
+        (build_rrg(p, ConstructionMethod::Incremental, 33).unwrap(), p)
+    }
+
+    #[test]
+    fn saturation_throughput_is_meaningful() {
+        let (g, p) = setup();
+        let table = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
+        let cfg = SweepConfig {
+            graph: &g,
+            params: p,
+            table: &table,
+            sp_table: None,
+            mechanism: Mechanism::Random,
+            sim: SimConfig::paper(),
+        };
+        let pattern = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
+        let sat = saturation_throughput(&cfg, &pattern, 0.05);
+        assert!(sat > 0.0, "some load must be sustainable");
+        // The found rate must indeed survive, and the next step saturate
+        // (unless sat == 1.0).
+        assert!(!run_at(&cfg, &pattern, sat).saturated);
+        if sat < 0.999 {
+            assert!(run_at(&cfg, &pattern, (sat + 0.05).min(1.0)).saturated);
+        }
+    }
+
+    #[test]
+    fn run_at_is_deterministic_and_matches_simulator() {
+        let (g, p) = setup();
+        let table = PathTable::compute(&g, PathSelection::RKsp(4), &PairSet::AllPairs, 0);
+        let cfg = SweepConfig {
+            graph: &g,
+            params: p,
+            table: &table,
+            sp_table: None,
+            mechanism: Mechanism::Random,
+            sim: SimConfig::paper(),
+        };
+        let pattern = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
+        let a = run_at(&cfg, &pattern, 0.2);
+        let b = run_at(&cfg, &pattern, 0.2);
+        assert_eq!(a, b);
+        assert_eq!(a.offered, 0.2);
+    }
+
+    #[test]
+    fn mean_saturation_averages_instances() {
+        let (g, p) = setup();
+        let table = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
+        let cfg = SweepConfig {
+            graph: &g,
+            params: p,
+            table: &table,
+            sp_table: None,
+            mechanism: Mechanism::Random,
+            sim: SimConfig::paper(),
+        };
+        let u = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
+        let patterns = vec![u.clone(), u.clone()];
+        let mean = mean_saturation_throughput(&cfg, &patterns, 0.1);
+        let single = saturation_throughput(&cfg, &u, 0.1);
+        // Identical instances -> mean equals the single search.
+        assert!((mean - single).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad resolution")]
+    fn zero_resolution_rejected() {
+        let (g, p) = setup();
+        let table = PathTable::compute(&g, PathSelection::RKsp(2), &PairSet::AllPairs, 0);
+        let cfg = SweepConfig {
+            graph: &g,
+            params: p,
+            table: &table,
+            sp_table: None,
+            mechanism: Mechanism::Random,
+            sim: SimConfig::paper(),
+        };
+        let u = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
+        saturation_throughput(&cfg, &u, 0.0);
+    }
+
+    #[test]
+    fn latency_curve_is_ordered_and_monotone_ish() {
+        let (g, p) = setup();
+        let table = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
+        let cfg = SweepConfig {
+            graph: &g,
+            params: p,
+            table: &table,
+            sp_table: None,
+            mechanism: Mechanism::KspAdaptive,
+            sim: SimConfig::paper(),
+        };
+        let pattern = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
+        let rates = [0.05, 0.2, 0.4];
+        let curve = latency_curve(&cfg, &pattern, &rates);
+        assert_eq!(curve.len(), 3);
+        assert!(curve.windows(2).all(|w| w[0].offered < w[1].offered));
+        // Latency grows with load (weakly, with generous slack for noise).
+        let l0 = curve[0].result.avg_latency;
+        let l2 = curve[2].result.avg_latency;
+        assert!(l2 >= l0 * 0.9, "latency {l2} vs {l0}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the cycle-level simulator: conservation and
+//! sanity invariants over randomized small configurations.
+
+use jellyfish_flitsim::{Mechanism, SimConfig, Simulator};
+use jellyfish_routing::{PairSet, PathSelection, PathTable};
+use jellyfish_topology::{build_rrg, ConstructionMethod, RrgParams};
+use jellyfish_traffic::PacketDestinations;
+use proptest::prelude::*;
+
+fn mechanisms() -> impl Strategy<Value = Mechanism> {
+    prop_oneof![
+        Just(Mechanism::SinglePath),
+        Just(Mechanism::Random),
+        Just(Mechanism::RoundRobin),
+        Just(Mechanism::KspUgal),
+        Just(Mechanism::KspAdaptive),
+    ]
+}
+
+proptest! {
+    // Each case is a full (short) simulation; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn no_packet_is_lost_or_invented(
+        seed in any::<u64>(),
+        rate in 0.01f64..0.35,
+        mech in mechanisms(),
+        k in 1usize..5,
+    ) {
+        let params = RrgParams::new(10, 6, 4);
+        let g = build_rrg(params, ConstructionMethod::Incremental, seed % 16).unwrap();
+        let table = PathTable::compute(&g, PathSelection::REdKsp(k), &PairSet::AllPairs, seed);
+        let mut cfg = SimConfig::paper();
+        cfg.num_samples = 3;
+        cfg.seed = seed;
+        let pattern = PacketDestinations::Uniform { num_hosts: params.num_hosts() };
+        let mut sim =
+            Simulator::new(&g, params, &table, None, mech, pattern, rate, cfg);
+        let r = sim.run();
+        // Conservation: can't eject more than was ever generated
+        // (warmup included, hence the slack term of warmup * hosts).
+        let warmup_max = 500u64 * params.num_hosts() as u64;
+        prop_assert!(r.ejected <= r.generated + warmup_max);
+        // Accepted rate can never exceed 1 packet/node/cycle.
+        prop_assert!(r.accepted <= 1.0 + 1e-9);
+        // Histogram totals match ejections; latencies ordered.
+        prop_assert_eq!(r.hop_histogram.iter().sum::<u64>(), r.ejected);
+        if r.ejected > 0 {
+            prop_assert!(r.min_latency <= r.max_latency);
+            prop_assert!(r.avg_latency >= r.min_latency as f64 - 1e-9);
+            prop_assert!(r.avg_latency <= r.max_latency as f64 + 1e-9);
+            // Physics: any packet that crossed >= 1 network channel paid
+            // at least the channel latency. (Same-switch packets can
+            // inject and eject within one cycle, so min can be 0.)
+            if r.hop_histogram.iter().skip(1).any(|&c| c > 0) {
+                prop_assert!(r.max_latency >= 10, "max {}", r.max_latency);
+            }
+        }
+        // Utilization is a fraction of cycles.
+        prop_assert!(r.max_link_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn low_load_never_saturates(seed in any::<u64>(), mech in mechanisms()) {
+        let params = RrgParams::new(10, 6, 4);
+        let g = build_rrg(params, ConstructionMethod::Incremental, seed % 16).unwrap();
+        let table =
+            PathTable::compute(&g, PathSelection::RKsp(3), &PairSet::AllPairs, seed);
+        let mut cfg = SimConfig::paper();
+        cfg.num_samples = 3;
+        cfg.seed = seed;
+        let pattern = PacketDestinations::Uniform { num_hosts: params.num_hosts() };
+        let mut sim = Simulator::new(&g, params, &table, None, mech, pattern, 0.02, cfg);
+        let r = sim.run();
+        prop_assert!(!r.saturated, "{mech:?} saturated at 2% load: {r:?}");
+        prop_assert!(r.avg_latency < 100.0, "{mech:?} latency {}", r.avg_latency);
+    }
+}

@@ -1,0 +1,345 @@
+//! Shortest-path search with an explicit tie-break policy.
+//!
+//! The paper's path-selection heuristics hinge on *how ties are broken*
+//! when many equal-length shortest paths exist (common in an RRG):
+//!
+//! * the **vanilla** algorithms explore lower-ranked nodes first, which
+//!   systematically biases the selected paths and causes the load-imbalance
+//!   problem shown in the paper's Figure 3(a);
+//! * the **randomized** variants choose uniformly among ties.
+//!
+//! Jellyfish switch graphs are unit-weight, so Dijkstra's algorithm reduces
+//! to BFS. This module implements a level-synchronous BFS whose frontier is
+//! either sorted ascending (deterministic: the first node to reach `v`
+//! is the lowest-ranked predecessor, exactly the textbook-Dijkstra bias) or
+//! uniformly shuffled (randomized: the predecessor of `v` is uniform among
+//! all shortest-path predecessors). The heap-based implementation in
+//! [`crate::dijkstra`] follows the same contract and is used to cross-check
+//! this kernel.
+
+use crate::mask::Mask;
+use jellyfish_topology::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Tie-break policy for equal-distance choices in shortest-path search.
+#[derive(Debug)]
+pub enum TieBreak<'r> {
+    /// Prefer lower node ids (textbook Dijkstra; the paper's "vanilla").
+    Deterministic,
+    /// Uniformly random choice among equal-distance candidates.
+    Randomized(&'r mut StdRng),
+}
+
+impl TieBreak<'_> {
+    /// Whether this policy is randomized.
+    pub fn is_randomized(&self) -> bool {
+        matches!(self, TieBreak::Randomized(_))
+    }
+}
+
+/// Reusable buffers for repeated shortest-path queries on one graph.
+///
+/// Yen's algorithm issues many spur-path searches per pair; reusing the
+/// distance/predecessor arrays avoids per-query allocation (a hot-path
+/// concern flagged by the performance guide).
+#[derive(Debug, Clone)]
+pub struct SpScratch {
+    dist: Vec<u32>,
+    pred: Vec<NodeId>,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+}
+
+const UNSET: u32 = u32::MAX;
+
+impl SpScratch {
+    /// Creates scratch space for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            dist: vec![UNSET; n],
+            pred: vec![0; n],
+            frontier: Vec::with_capacity(n),
+            next: Vec::with_capacity(n),
+        }
+    }
+
+    /// For a graph.
+    pub fn for_graph(graph: &Graph) -> Self {
+        Self::new(graph.num_nodes())
+    }
+}
+
+/// Shortest path from `src` to `dst` honoring `mask` removals, as a node
+/// sequence `[src, ..., dst]`. Returns `None` if unreachable (or either
+/// endpoint is masked out).
+pub fn shortest_path(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    mask: &Mask,
+    tiebreak: &mut TieBreak<'_>,
+) -> Option<Vec<NodeId>> {
+    let mut scratch = SpScratch::for_graph(graph);
+    shortest_path_with(graph, src, dst, mask, tiebreak, &mut scratch)
+}
+
+/// [`shortest_path`] with caller-provided scratch buffers.
+pub fn shortest_path_with(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    mask: &Mask,
+    tiebreak: &mut TieBreak<'_>,
+    scratch: &mut SpScratch,
+) -> Option<Vec<NodeId>> {
+    if mask.node_removed(src) || mask.node_removed(dst) {
+        return None;
+    }
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let SpScratch { dist, pred, frontier, next } = scratch;
+    dist.fill(UNSET);
+    frontier.clear();
+    next.clear();
+
+    dist[src as usize] = 0;
+    frontier.push(src);
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        // Order the frontier according to the tie-break policy: the first
+        // node to relax `v` becomes `pred[v]` and is never replaced.
+        match tiebreak {
+            TieBreak::Deterministic => frontier.sort_unstable(),
+            TieBreak::Randomized(rng) => frontier.shuffle(rng),
+        }
+        depth += 1;
+        for &u in frontier.iter() {
+            for (link, &v) in graph.out_links(u).zip(graph.neighbors(u)) {
+                if mask.link_removed(link)
+                    || mask.node_removed(v)
+                    || dist[v as usize] != UNSET
+                {
+                    continue;
+                }
+                dist[v as usize] = depth;
+                pred[v as usize] = u;
+                if v == dst {
+                    return Some(reconstruct(pred, src, dst, depth));
+                }
+                next.push(v);
+            }
+        }
+        std::mem::swap(frontier, next);
+        next.clear();
+    }
+    None
+}
+
+/// Full shortest-path tree from `src` (no mask): distances and
+/// predecessors for every node, honoring the tie-break policy. Unreached
+/// nodes have distance `u32::MAX`; `pred[src]` is `src`.
+pub fn shortest_path_tree(
+    graph: &Graph,
+    src: NodeId,
+    tiebreak: &mut TieBreak<'_>,
+) -> (Vec<u32>, Vec<NodeId>) {
+    let n = graph.num_nodes();
+    let mut dist = vec![UNSET; n];
+    let mut pred = vec![src; n];
+    let mut frontier = Vec::with_capacity(n);
+    let mut next = Vec::with_capacity(n);
+    dist[src as usize] = 0;
+    frontier.push(src);
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        match tiebreak {
+            TieBreak::Deterministic => frontier.sort_unstable(),
+            TieBreak::Randomized(rng) => frontier.shuffle(rng),
+        }
+        depth += 1;
+        for &u in frontier.iter() {
+            for &v in graph.neighbors(u) {
+                if dist[v as usize] == UNSET {
+                    dist[v as usize] = depth;
+                    pred[v as usize] = u;
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    (dist, pred)
+}
+
+/// Distances (hop counts) from `src` to all nodes under `mask`; `u32::MAX`
+/// marks unreachable nodes. Tie-breaks do not affect distances, so no
+/// policy parameter is needed.
+pub fn distances(graph: &Graph, src: NodeId, mask: &Mask) -> Vec<u32> {
+    let n = graph.num_nodes();
+    let mut dist = vec![UNSET; n];
+    if mask.node_removed(src) {
+        return dist;
+    }
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for (link, &v) in graph.out_links(u).zip(graph.neighbors(u)) {
+            if mask.link_removed(link) || mask.node_removed(v) || dist[v as usize] != UNSET {
+                continue;
+            }
+            dist[v as usize] = du + 1;
+            queue.push_back(v);
+        }
+    }
+    dist
+}
+
+fn reconstruct(pred: &[NodeId], src: NodeId, dst: NodeId, len: u32) -> Vec<NodeId> {
+    let mut path = vec![0 as NodeId; len as usize + 1];
+    let mut cur = dst;
+    for slot in path.iter_mut().rev() {
+        *slot = cur;
+        if cur == src {
+            break;
+        }
+        cur = pred[cur as usize];
+    }
+    debug_assert_eq!(path[0], src);
+    debug_assert_eq!(*path.last().unwrap(), dst);
+    path
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// The example topology from the paper's Figure 3: S1 connects through
+    /// three first-hop switches (A, B, C) to D1 via intermediate layers.
+    /// Node map: S1=0, A=1, B=2, C=3, E=4, F=5, G=6, H=7, I=8, D1=9.
+    pub(crate) fn figure3() -> Graph {
+        Graph::from_edges(
+            10,
+            &[
+                (0, 1), // S1-A
+                (0, 2), // S1-B
+                (0, 3), // S1-C
+                (1, 6), // A-G  (the 3-hop path)
+                (1, 4), // A-E
+                (2, 4), // B-E
+                (3, 5), // C-F
+                (4, 6), // E-G
+                (4, 7), // E-H
+                (5, 7), // F-H
+                (5, 8), // F-I
+                (6, 9), // G-D1
+                (7, 9), // H-D1
+                (8, 9), // I-D1
+            ],
+        )
+    }
+
+    #[test]
+    fn deterministic_finds_three_hop_path() {
+        let g = figure3();
+        let mask = Mask::new(&g);
+        let p = shortest_path(&g, 0, 9, &mask, &mut TieBreak::Deterministic).unwrap();
+        assert_eq!(p, vec![0, 1, 6, 9]); // S1 -> A -> G -> D1
+    }
+
+    #[test]
+    fn trivial_and_masked_cases() {
+        let g = figure3();
+        let mut mask = Mask::new(&g);
+        assert_eq!(
+            shortest_path(&g, 4, 4, &mask, &mut TieBreak::Deterministic),
+            Some(vec![4])
+        );
+        mask.remove_node(9);
+        assert_eq!(shortest_path(&g, 0, 9, &mask, &mut TieBreak::Deterministic), None);
+    }
+
+    #[test]
+    fn masked_edges_force_detour() {
+        let g = figure3();
+        let mut mask = Mask::new(&g);
+        mask.remove_edge(&g, 1, 6); // cut A-G: only 4-hop paths remain
+        let p = shortest_path(&g, 0, 9, &mask, &mut TieBreak::Deterministic).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[0], 0);
+        assert_eq!(p[4], 9);
+    }
+
+    #[test]
+    fn disconnection_returns_none() {
+        let g = figure3();
+        let mut mask = Mask::new(&g);
+        for v in [6u32, 7, 8] {
+            mask.remove_node(v);
+        }
+        assert_eq!(shortest_path(&g, 0, 9, &mask, &mut TieBreak::Deterministic), None);
+    }
+
+    #[test]
+    fn randomized_explores_all_shortest_paths() {
+        // After cutting A-G there are six 4-hop paths (paper Fig. 3); the
+        // randomized search should reach several distinct ones.
+        let g = figure3();
+        let mut mask = Mask::new(&g);
+        mask.remove_edge(&g, 1, 6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let p =
+                shortest_path(&g, 0, 9, &mask, &mut TieBreak::Randomized(&mut rng)).unwrap();
+            assert_eq!(p.len(), 5);
+            seen.insert(p);
+        }
+        assert!(seen.len() >= 4, "expected >=4 distinct paths, got {}", seen.len());
+    }
+
+    #[test]
+    fn randomized_matches_deterministic_distance() {
+        let g = figure3();
+        let mask = Mask::new(&g);
+        let mut rng = StdRng::seed_from_u64(9);
+        for src in 0..10u32 {
+            for dst in 0..10u32 {
+                let d = shortest_path(&g, src, dst, &mask, &mut TieBreak::Deterministic)
+                    .map(|p| p.len());
+                let r =
+                    shortest_path(&g, src, dst, &mask, &mut TieBreak::Randomized(&mut rng))
+                        .map(|p| p.len());
+                assert_eq!(d, r, "length mismatch for {src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn distances_match_path_lengths() {
+        let g = figure3();
+        let mask = Mask::new(&g);
+        let dist = distances(&g, 0, &mask);
+        for dst in 1..10u32 {
+            let p = shortest_path(&g, 0, dst, &mask, &mut TieBreak::Deterministic).unwrap();
+            assert_eq!(dist[dst as usize] as usize, p.len() - 1);
+        }
+    }
+
+    #[test]
+    fn distances_respect_mask() {
+        let g = figure3();
+        let mut mask = Mask::new(&g);
+        mask.remove_node(1);
+        mask.remove_node(2);
+        mask.remove_node(3);
+        let dist = distances(&g, 0, &mask);
+        assert_eq!(dist[9], UNSET);
+        assert_eq!(dist[0], 0);
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! Multi-path selection for the Jellyfish network.
+//!
+//! This crate implements the paper's path-selection schemes:
+//!
+//! * **KSP** — vanilla Yen's k-shortest paths with a deterministic
+//!   (node-rank) tie-break in the underlying shortest-path search;
+//! * **rKSP** — Yen's with *randomized* tie-breaking, removing the
+//!   systematic bias of the vanilla algorithm;
+//! * **EDKSP** — edge-disjoint paths via the Remove-Find method
+//!   (Guo et al.): find a shortest path, remove its edges, repeat;
+//! * **rEDKSP** — Remove-Find with randomized tie-breaking;
+//! * **LLSKR** — Limited Length Spread K-shortest path Routing
+//!   (Yuan et al., SC'13), included as the prior-work baseline.
+//!
+//! The central types are [`PathSelection`] (which scheme and `k`) and
+//! [`PathTable`] (the computed `k` paths per source/destination switch
+//! pair). [`properties`] computes the path-quality statistics the paper
+//! reports in Tables II–IV.
+//!
+//! On the unit-weight switch graphs used by Jellyfish, the randomized
+//! Dijkstra of the paper is realized as a level-synchronous BFS with a
+//! shuffled frontier — semantically identical (a shortest-path tree with
+//! uniformly random predecessor choice among ties) and considerably
+//! faster. A general binary-heap Dijkstra with the same tie-break contract
+//! is provided in [`dijkstra`] and cross-checked against the BFS kernel in
+//! tests.
+
+pub mod bfs;
+pub mod dijkstra;
+pub mod disjoint;
+pub mod llskr;
+pub mod mask;
+pub mod properties;
+pub mod serialize;
+pub mod table;
+pub mod yen;
+
+pub use bfs::{shortest_path, TieBreak};
+pub use disjoint::edge_disjoint_paths;
+pub use llskr::{llskr_paths, LlskrConfig};
+pub use mask::Mask;
+pub use properties::{path_properties, PathProperties};
+pub use serialize::{load_table, read_table, save_table, write_table, ReadError};
+pub use table::{PairSet, Path, PathSelection, PathTable};
+pub use yen::k_shortest_paths;
+
+/// Derives a per-pair RNG seed from a table seed and the ordered pair, so
+/// path computation is deterministic regardless of scheduling order.
+#[inline]
+pub(crate) fn pair_seed(seed: u64, src: u32, dst: u32) -> u64 {
+    // splitmix64 finalizer over the packed pair.
+    let mut z = seed ^ (((src as u64) << 32) | dst as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

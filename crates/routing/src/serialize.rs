@@ -1,0 +1,262 @@
+//! Plain-text persistence for path tables.
+//!
+//! All-pairs KSP tables are expensive on big fabrics (minutes of CPU for
+//! the paper's large topology), so experiments want to compute once and
+//! reuse. The format is a line-oriented text file — trivially diffable,
+//! versioned, and dependency-free:
+//!
+//! ```text
+//! jellyfish-paths v1
+//! switches <n>
+//! selection <name>
+//! pair <src> <dst>
+//! path <node> <node> ...
+//! path ...
+//! ```
+//!
+//! Only the path data round-trips; the selection line is informational
+//! (the scheme cannot be re-derived from its output).
+
+use crate::table::{PathSet, PathTable};
+use jellyfish_topology::NodeId;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+/// Magic header line.
+const HEADER: &str = "jellyfish-paths v1";
+
+/// Serializes `table` into the v1 text format.
+pub fn write_table<W: Write>(table: &PathTable, mut out: W) -> io::Result<()> {
+    let mut buf = String::new();
+    writeln!(buf, "{HEADER}").unwrap();
+    writeln!(buf, "switches {}", table.num_switches()).unwrap();
+    writeln!(buf, "selection {}", table.selection().name()).unwrap();
+    // Deterministic order: sort entries by (src, dst).
+    let mut entries: Vec<(NodeId, NodeId, &PathSet)> = table.entries().collect();
+    entries.sort_unstable_by_key(|&(s, d, _)| (s, d));
+    for (s, d, ps) in entries {
+        writeln!(buf, "pair {s} {d}").unwrap();
+        for path in ps.iter() {
+            buf.push_str("path");
+            for n in path {
+                write!(buf, " {n}").unwrap();
+            }
+            buf.push('\n');
+        }
+    }
+    out.write_all(buf.as_bytes())
+}
+
+/// Errors from [`read_table`].
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the file, with a line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Parses a v1 text file back into a [`PathTable`].
+///
+/// The returned table uses sparse storage and reports the recorded
+/// switch count; the original selection is echoed in the error messages
+/// only (a loaded table's `selection()` is not meaningful and is set to
+/// `SinglePath`).
+pub fn read_table<R: BufRead>(input: R) -> Result<PathTable, ReadError> {
+    let mut lines = input.lines().enumerate();
+    let mut expect = |what: &str| -> Result<(usize, String), ReadError> {
+        match lines.next() {
+            Some((i, Ok(l))) => Ok((i + 1, l)),
+            Some((i, Err(e))) => Err(ReadError::Parse {
+                line: i + 1,
+                message: format!("{what}: {e}"),
+            }),
+            None => Err(ReadError::Parse { line: 0, message: format!("missing {what}") }),
+        }
+    };
+    let (ln, header) = expect("header")?;
+    if header.trim() != HEADER {
+        return Err(ReadError::Parse { line: ln, message: format!("bad header {header:?}") });
+    }
+    let (ln, sw) = expect("switches line")?;
+    let switches: usize = sw
+        .strip_prefix("switches ")
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| ReadError::Parse { line: ln, message: "bad switches line".into() })?;
+    let (ln, sel) = expect("selection line")?;
+    if !sel.starts_with("selection ") {
+        return Err(ReadError::Parse { line: ln, message: "bad selection line".into() });
+    }
+
+    type PairEntry = ((NodeId, NodeId), Vec<Vec<NodeId>>);
+    let mut pairs: Vec<PairEntry> = Vec::new();
+    for (i, line) in lines {
+        let ln = i + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("pair ") {
+            let mut it = rest.split_whitespace();
+            let parse = |v: Option<&str>| -> Result<NodeId, ReadError> {
+                v.and_then(|x| x.parse().ok()).ok_or_else(|| ReadError::Parse {
+                    line: ln,
+                    message: "bad pair line".into(),
+                })
+            };
+            let s = parse(it.next())?;
+            let d = parse(it.next())?;
+            if s as usize >= switches || d as usize >= switches {
+                return Err(ReadError::Parse {
+                    line: ln,
+                    message: format!("pair {s} {d} out of range for {switches} switches"),
+                });
+            }
+            pairs.push(((s, d), Vec::new()));
+        } else if let Some(rest) = line.strip_prefix("path") {
+            let Some(((s, d), paths)) = pairs.last_mut() else {
+                return Err(ReadError::Parse { line: ln, message: "path before pair".into() });
+            };
+            let nodes: Result<Vec<NodeId>, _> =
+                rest.split_whitespace().map(|v| v.parse::<NodeId>()).collect();
+            let nodes = nodes.map_err(|e| ReadError::Parse {
+                line: ln,
+                message: format!("bad path node: {e}"),
+            })?;
+            if nodes.len() < 2 || nodes[0] != *s || *nodes.last().unwrap() != *d {
+                return Err(ReadError::Parse {
+                    line: ln,
+                    message: format!("path does not span pair {s}->{d}"),
+                });
+            }
+            paths.push(nodes);
+        } else {
+            return Err(ReadError::Parse {
+                line: ln,
+                message: format!("unrecognized line {line:?}"),
+            });
+        }
+    }
+
+    Ok(PathTable::from_paths(
+        switches,
+        pairs.iter().map(|((s, d), paths)| ((*s, *d), paths.as_slice())),
+    ))
+}
+
+/// Convenience: round-trips through files.
+pub fn save_table(table: &PathTable, path: &std::path::Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_table(table, io::BufWriter::new(file))
+}
+
+/// Loads a table from a file.
+pub fn load_table(path: &std::path::Path) -> Result<PathTable, ReadError> {
+    let file = std::fs::File::open(path)?;
+    read_table(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{PairSet, PathSelection, PathTable};
+    use jellyfish_topology::{build_rrg, ConstructionMethod, RrgParams};
+
+    fn sample_table() -> PathTable {
+        let g = build_rrg(RrgParams::new(12, 8, 5), ConstructionMethod::Incremental, 3).unwrap();
+        PathTable::compute(
+            &g,
+            PathSelection::REdKsp(3),
+            &PairSet::Pairs(vec![(0, 5), (5, 0), (2, 11)]),
+            9,
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_paths() {
+        let table = sample_table();
+        let mut buf = Vec::new();
+        write_table(&table, &mut buf).unwrap();
+        let loaded = read_table(buf.as_slice()).unwrap();
+        assert_eq!(loaded.num_switches(), table.num_switches());
+        assert_eq!(loaded.num_pairs(), table.num_pairs());
+        assert_eq!(loaded.max_hops(), table.max_hops());
+        for (s, d, ps) in table.entries() {
+            let lp = loaded.get(s, d).unwrap();
+            assert_eq!(lp, ps, "{s}->{d}");
+        }
+    }
+
+    #[test]
+    fn format_is_line_oriented() {
+        let table = sample_table();
+        let mut buf = Vec::new();
+        write_table(&table, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("jellyfish-paths v1\nswitches 12\nselection rEDKSP(3)\n"));
+        assert_eq!(text.matches("pair ").count(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_table("nonsense\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_path_before_pair() {
+        let text = "jellyfish-paths v1\nswitches 4\nselection KSP(2)\npath 0 1\n";
+        let err = read_table(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("path before pair"), "{err}");
+    }
+
+    #[test]
+    fn rejects_mismatched_path_endpoints() {
+        let text =
+            "jellyfish-paths v1\nswitches 4\nselection KSP(2)\npair 0 2\npath 0 1 3\n";
+        let err = read_table(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("does not span"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_pair() {
+        let text = "jellyfish-paths v1\nswitches 4\nselection KSP(2)\npair 0 9\n";
+        let err = read_table(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let table = sample_table();
+        let dir = std::env::temp_dir().join(format!("jf-paths-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.txt");
+        save_table(&table, &path).unwrap();
+        let loaded = load_table(&path).unwrap();
+        assert_eq!(loaded.num_pairs(), table.num_pairs());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

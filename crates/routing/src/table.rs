@@ -1,0 +1,561 @@
+//! Path tables: the precomputed `k` paths per switch pair.
+//!
+//! [`PathSelection`] names a path-selection scheme from the paper;
+//! [`PathTable::compute`] evaluates it — in parallel across pairs — for
+//! either all ordered switch pairs or an explicit pair list, and stores the
+//! result compactly ([`PathSet`] keeps each pair's paths in one flat
+//! buffer). Randomized schemes derive an independent RNG per pair from the
+//! table seed, so results do not depend on scheduling order.
+
+use crate::bfs::{shortest_path, TieBreak};
+use crate::disjoint::edge_disjoint_paths;
+use crate::llskr::{llskr_paths, LlskrConfig};
+use crate::mask::Mask;
+use crate::pair_seed;
+use crate::yen::k_shortest_paths;
+use jellyfish_topology::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A single path as a node sequence `[src, ..., dst]`.
+pub type Path = Vec<NodeId>;
+
+/// Path-selection scheme (paper Section III-A plus baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PathSelection {
+    /// Single shortest path (the paper's `SP` baseline).
+    SinglePath,
+    /// Vanilla Yen's k-shortest paths with deterministic tie-breaks.
+    Ksp(usize),
+    /// Yen's with randomized tie-breaks (`rKSP`).
+    RKsp(usize),
+    /// Edge-disjoint Remove-Find with deterministic tie-breaks (`EDKSP`).
+    EdKsp(usize),
+    /// Edge-disjoint Remove-Find with randomized tie-breaks (`rEDKSP`).
+    REdKsp(usize),
+    /// LLSKR baseline (Yuan et al.), variable path count.
+    Llskr(LlskrConfig),
+}
+
+impl PathSelection {
+    /// Display name matching the paper's notation, e.g. `rEDKSP(8)`.
+    pub fn name(&self) -> String {
+        match self {
+            PathSelection::SinglePath => "SP".into(),
+            PathSelection::Ksp(k) => format!("KSP({k})"),
+            PathSelection::RKsp(k) => format!("rKSP({k})"),
+            PathSelection::EdKsp(k) => format!("EDKSP({k})"),
+            PathSelection::REdKsp(k) => format!("rEDKSP({k})"),
+            PathSelection::Llskr(c) => format!("LLSKR(s{},{}..{})", c.spread, c.min_paths, c.max_paths),
+        }
+    }
+
+    /// Nominal number of paths per pair (upper bound for LLSKR).
+    pub fn k(&self) -> usize {
+        match self {
+            PathSelection::SinglePath => 1,
+            PathSelection::Ksp(k)
+            | PathSelection::RKsp(k)
+            | PathSelection::EdKsp(k)
+            | PathSelection::REdKsp(k) => *k,
+            PathSelection::Llskr(c) => c.max_paths,
+        }
+    }
+
+    /// Whether the scheme uses randomized tie-breaking.
+    pub fn is_randomized(&self) -> bool {
+        matches!(self, PathSelection::RKsp(_) | PathSelection::REdKsp(_))
+    }
+
+    /// Computes this scheme's paths for one ordered pair.
+    pub fn paths_for_pair(
+        &self,
+        graph: &Graph,
+        src: NodeId,
+        dst: NodeId,
+        seed: u64,
+    ) -> Vec<Path> {
+        let mut rng;
+        let mut tiebreak = if self.is_randomized() {
+            rng = StdRng::seed_from_u64(pair_seed(seed, src, dst));
+            TieBreak::Randomized(&mut rng)
+        } else {
+            TieBreak::Deterministic
+        };
+        match *self {
+            PathSelection::SinglePath => {
+                let mask = Mask::new(graph);
+                shortest_path(graph, src, dst, &mask, &mut tiebreak)
+                    .into_iter()
+                    .collect()
+            }
+            PathSelection::Ksp(k) | PathSelection::RKsp(k) => {
+                k_shortest_paths(graph, src, dst, k, &mut tiebreak)
+            }
+            PathSelection::EdKsp(k) | PathSelection::REdKsp(k) => {
+                edge_disjoint_paths(graph, src, dst, k, &mut tiebreak)
+            }
+            PathSelection::Llskr(cfg) => llskr_paths(graph, src, dst, &cfg, &mut tiebreak),
+        }
+    }
+}
+
+/// Which ordered pairs a table covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairSet {
+    /// All ordered pairs `(s, d)` with `s != d`.
+    AllPairs,
+    /// An explicit list of ordered pairs (deduplicated on compute).
+    Pairs(Vec<(NodeId, NodeId)>),
+}
+
+impl PairSet {
+    /// Materializes the pair list for a graph with `n` switches.
+    pub fn materialize(&self, n: usize) -> Vec<(NodeId, NodeId)> {
+        match self {
+            PairSet::AllPairs => {
+                let mut v = Vec::with_capacity(n * (n - 1));
+                for s in 0..n as NodeId {
+                    for d in 0..n as NodeId {
+                        if s != d {
+                            v.push((s, d));
+                        }
+                    }
+                }
+                v
+            }
+            PairSet::Pairs(list) => {
+                let mut v: Vec<_> = list
+                    .iter()
+                    .copied()
+                    .filter(|(s, d)| s != d)
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        }
+    }
+}
+
+/// The paths of one ordered pair, stored flat.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathSet {
+    nodes: Vec<NodeId>,
+    /// End offset (exclusive) of each path within `nodes`.
+    ends: Vec<u32>,
+}
+
+impl PathSet {
+    /// Builds from a list of paths.
+    pub fn from_paths(paths: &[Path]) -> Self {
+        let total = paths.iter().map(Vec::len).sum();
+        let mut nodes = Vec::with_capacity(total);
+        let mut ends = Vec::with_capacity(paths.len());
+        for p in paths {
+            nodes.extend_from_slice(p);
+            ends.push(nodes.len() as u32);
+        }
+        Self { nodes, ends }
+    }
+
+    /// Number of paths.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// True if the pair has no paths.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// The `i`-th path as a node slice.
+    #[inline]
+    pub fn path(&self, i: usize) -> &[NodeId] {
+        let lo = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.nodes[lo..self.ends[i] as usize]
+    }
+
+    /// Hop count (edges) of the `i`-th path.
+    #[inline]
+    pub fn hops(&self, i: usize) -> usize {
+        self.path(i).len() - 1
+    }
+
+    /// Iterates over paths as node slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        (0..self.len()).map(move |i| self.path(i))
+    }
+
+    /// Longest path hop count, 0 when empty.
+    pub fn max_hops(&self) -> usize {
+        self.iter().map(|p| p.len() - 1).max().unwrap_or(0)
+    }
+}
+
+/// Computed paths for a set of switch pairs.
+///
+/// Dense storage (flat `Vec` indexed by `s * n + d`) is used for
+/// [`PairSet::AllPairs`]; sparse (`HashMap`) otherwise. Lookup via
+/// [`PathTable::get`] is uniform over both.
+#[derive(Debug, Clone)]
+pub struct PathTable {
+    selection: PathSelection,
+    n: usize,
+    storage: Storage,
+    max_hops: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Storage {
+    Dense(Vec<PathSet>),
+    Sparse(HashMap<u64, PathSet>),
+}
+
+#[inline]
+fn pack(s: NodeId, d: NodeId) -> u64 {
+    ((s as u64) << 32) | d as u64
+}
+
+impl PathTable {
+    /// Computes the table for `selection` over `pairs` on `graph`.
+    ///
+    /// `seed` drives the randomized schemes; per-pair seeds are derived so
+    /// the result is independent of the parallel schedule.
+    pub fn compute(
+        graph: &Graph,
+        selection: PathSelection,
+        pairs: &PairSet,
+        seed: u64,
+    ) -> Self {
+        let n = graph.num_nodes();
+        let storage = match pairs {
+            PairSet::AllPairs => {
+                let sets: Vec<PathSet> = (0..(n * n) as u64)
+                    .into_par_iter()
+                    .map(|idx| {
+                        let s = (idx / n as u64) as NodeId;
+                        let d = (idx % n as u64) as NodeId;
+                        if s == d {
+                            PathSet::default()
+                        } else {
+                            PathSet::from_paths(&selection.paths_for_pair(graph, s, d, seed))
+                        }
+                    })
+                    .collect();
+                Storage::Dense(sets)
+            }
+            PairSet::Pairs(_) => {
+                let list = pairs.materialize(n);
+                let map: HashMap<u64, PathSet> = list
+                    .into_par_iter()
+                    .map(|(s, d)| {
+                        (
+                            pack(s, d),
+                            PathSet::from_paths(&selection.paths_for_pair(graph, s, d, seed)),
+                        )
+                    })
+                    .collect();
+                Storage::Sparse(map)
+            }
+        };
+        let max_hops = match &storage {
+            Storage::Dense(v) => v.iter().map(PathSet::max_hops).max().unwrap_or(0),
+            Storage::Sparse(m) => m.values().map(PathSet::max_hops).max().unwrap_or(0),
+        };
+        Self { selection, n, storage, max_hops }
+    }
+
+    /// Dense all-pairs single-shortest-path table via one BFS tree per
+    /// source — O(N·(N+E)) instead of the O(N²) independent searches of
+    /// [`PathTable::compute`] with [`PathSelection::SinglePath`].
+    ///
+    /// With `randomized = false` the predecessor choice reproduces the
+    /// deterministic low-rank bias; with `randomized = true` each source's
+    /// BFS shuffles its frontier (seeded per source), giving uniformly
+    /// random shortest paths. Used for vanilla UGAL's valiant legs.
+    pub fn all_pairs_shortest(graph: &Graph, randomized: bool, seed: u64) -> Self {
+        use crate::bfs::{shortest_path_tree, TieBreak};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let n = graph.num_nodes();
+        let sets: Vec<PathSet> = (0..n as NodeId)
+            .into_par_iter()
+            .flat_map_iter(|src| {
+                let mut rng;
+                let mut tiebreak = if randomized {
+                    rng = StdRng::seed_from_u64(pair_seed(seed, src, u32::MAX));
+                    TieBreak::Randomized(&mut rng)
+                } else {
+                    TieBreak::Deterministic
+                };
+                let (dist, pred) = shortest_path_tree(graph, src, &mut tiebreak);
+                let mut out = Vec::with_capacity(n);
+                let mut scratch = Vec::new();
+                for dst in 0..n as NodeId {
+                    if dst == src || dist[dst as usize] == u32::MAX {
+                        out.push(PathSet::default());
+                        continue;
+                    }
+                    scratch.clear();
+                    let mut cur = dst;
+                    while cur != src {
+                        scratch.push(cur);
+                        cur = pred[cur as usize];
+                    }
+                    scratch.push(src);
+                    scratch.reverse();
+                    out.push(PathSet::from_paths(std::slice::from_ref(&scratch)));
+                }
+                out
+            })
+            .collect();
+        let max_hops = sets.iter().map(PathSet::max_hops).max().unwrap_or(0);
+        Self { selection: PathSelection::SinglePath, n, storage: Storage::Dense(sets), max_hops }
+    }
+
+    /// Builds a sparse table directly from explicit paths (used by the
+    /// deserializer and by tests). The selection tag is set to
+    /// [`PathSelection::SinglePath`] since the originating scheme cannot
+    /// be recovered from its output.
+    pub fn from_paths<'p>(
+        n: usize,
+        entries: impl Iterator<Item = ((NodeId, NodeId), &'p [Vec<NodeId>])>,
+    ) -> Self {
+        let map: HashMap<u64, PathSet> = entries
+            .map(|((s, d), paths)| (pack(s, d), PathSet::from_paths(paths)))
+            .collect();
+        let max_hops = map.values().map(PathSet::max_hops).max().unwrap_or(0);
+        Self {
+            selection: PathSelection::SinglePath,
+            n,
+            storage: Storage::Sparse(map),
+            max_hops,
+        }
+    }
+
+    /// The scheme this table was computed with.
+    pub fn selection(&self) -> PathSelection {
+        self.selection
+    }
+
+    /// Number of switches in the underlying graph.
+    pub fn num_switches(&self) -> usize {
+        self.n
+    }
+
+    /// Longest path (hops) in the table — sizes the simulator's VC count.
+    pub fn max_hops(&self) -> usize {
+        self.max_hops
+    }
+
+    /// The paths for ordered pair `(s, d)`, if covered by this table.
+    #[inline]
+    pub fn get(&self, s: NodeId, d: NodeId) -> Option<&PathSet> {
+        match &self.storage {
+            Storage::Dense(v) => v.get(s as usize * self.n + d as usize),
+            Storage::Sparse(m) => m.get(&pack(s, d)),
+        }
+    }
+
+    /// Iterates over all `(s, d, paths)` entries with at least one path.
+    pub fn entries(&self) -> Box<dyn Iterator<Item = (NodeId, NodeId, &PathSet)> + '_> {
+        match &self.storage {
+            Storage::Dense(v) => Box::new(v.iter().enumerate().filter_map(move |(i, ps)| {
+                if ps.is_empty() {
+                    None
+                } else {
+                    Some(((i / self.n) as NodeId, (i % self.n) as NodeId, ps))
+                }
+            })),
+            Storage::Sparse(m) => Box::new(m.iter().filter_map(|(&key, ps)| {
+                if ps.is_empty() {
+                    None
+                } else {
+                    Some(((key >> 32) as NodeId, key as u32, ps))
+                }
+            })),
+        }
+    }
+
+    /// Number of pairs stored (with at least one path).
+    pub fn num_pairs(&self) -> usize {
+        self.entries().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jellyfish_topology::{build_rrg, ConstructionMethod, RrgParams};
+
+    fn small_graph() -> Graph {
+        build_rrg(RrgParams::new(16, 8, 5), ConstructionMethod::Incremental, 9).unwrap()
+    }
+
+    #[test]
+    fn pathset_layout() {
+        let ps = PathSet::from_paths(&[vec![0, 1, 2], vec![0, 3, 4, 2]]);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.path(0), &[0, 1, 2]);
+        assert_eq!(ps.path(1), &[0, 3, 4, 2]);
+        assert_eq!(ps.hops(0), 2);
+        assert_eq!(ps.hops(1), 3);
+        assert_eq!(ps.max_hops(), 3);
+        assert_eq!(ps.iter().count(), 2);
+    }
+
+    #[test]
+    fn empty_pathset() {
+        let ps = PathSet::default();
+        assert!(ps.is_empty());
+        assert_eq!(ps.max_hops(), 0);
+    }
+
+    #[test]
+    fn selection_names_match_paper_notation() {
+        assert_eq!(PathSelection::Ksp(8).name(), "KSP(8)");
+        assert_eq!(PathSelection::RKsp(8).name(), "rKSP(8)");
+        assert_eq!(PathSelection::EdKsp(16).name(), "EDKSP(16)");
+        assert_eq!(PathSelection::REdKsp(8).name(), "rEDKSP(8)");
+        assert_eq!(PathSelection::SinglePath.name(), "SP");
+    }
+
+    #[test]
+    fn dense_table_covers_all_pairs() {
+        let g = small_graph();
+        let t = PathTable::compute(&g, PathSelection::Ksp(4), &PairSet::AllPairs, 0);
+        assert_eq!(t.num_pairs(), 16 * 15);
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                let ps = t.get(s, d).unwrap();
+                if s == d {
+                    assert!(ps.is_empty());
+                } else {
+                    assert_eq!(ps.len(), 4, "{s}->{d}");
+                    for p in ps.iter() {
+                        assert_eq!(p[0], s);
+                        assert_eq!(*p.last().unwrap(), d);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_table_covers_requested_pairs_only() {
+        let g = small_graph();
+        let pairs = PairSet::Pairs(vec![(0, 1), (2, 3), (2, 3), (5, 5)]);
+        let t = PathTable::compute(&g, PathSelection::REdKsp(4), &pairs, 1);
+        assert_eq!(t.num_pairs(), 2); // dedup + self-pair dropped
+        assert!(t.get(0, 1).is_some());
+        assert!(t.get(1, 0).is_none());
+        assert!(t.get(5, 5).is_none());
+    }
+
+    #[test]
+    fn randomized_table_is_deterministic_per_seed() {
+        let g = small_graph();
+        let pairs = PairSet::Pairs(vec![(0, 1), (4, 9), (12, 3)]);
+        let a = PathTable::compute(&g, PathSelection::RKsp(4), &pairs, 42);
+        let b = PathTable::compute(&g, PathSelection::RKsp(4), &pairs, 42);
+        for (s, d, ps) in a.entries() {
+            assert_eq!(Some(ps), b.get(s, d));
+        }
+        // And (overwhelmingly likely) different across seeds.
+        let c = PathTable::compute(&g, PathSelection::RKsp(4), &pairs, 43);
+        let differs = a.entries().any(|(s, d, ps)| c.get(s, d) != Some(ps));
+        assert!(differs);
+    }
+
+    #[test]
+    fn single_path_tables_have_one_shortest_path() {
+        let g = small_graph();
+        let t = PathTable::compute(&g, PathSelection::SinglePath, &PairSet::AllPairs, 0);
+        for (s, d, ps) in t.entries() {
+            assert_eq!(ps.len(), 1);
+            assert!(s != d);
+        }
+    }
+
+    #[test]
+    fn max_hops_bounds_every_path() {
+        let g = small_graph();
+        let t = PathTable::compute(&g, PathSelection::REdKsp(5), &PairSet::AllPairs, 3);
+        let m = t.max_hops();
+        assert!(m >= 1);
+        for (_, _, ps) in t.entries() {
+            for p in ps.iter() {
+                assert!(p.len() - 1 <= m);
+            }
+        }
+    }
+
+    #[test]
+    fn edksp_tables_are_edge_disjoint_per_pair() {
+        let g = small_graph();
+        let t = PathTable::compute(&g, PathSelection::EdKsp(4), &PairSet::AllPairs, 0);
+        for (_, _, ps) in t.entries() {
+            let paths: Vec<Vec<NodeId>> = ps.iter().map(|p| p.to_vec()).collect();
+            assert!(crate::disjoint::are_edge_disjoint(&g, &paths));
+        }
+    }
+
+    #[test]
+    fn all_pairs_shortest_matches_per_pair_search() {
+        let g = small_graph();
+        let fast = PathTable::all_pairs_shortest(&g, false, 0);
+        let slow = PathTable::compute(&g, PathSelection::SinglePath, &PairSet::AllPairs, 0);
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                if s == d {
+                    continue;
+                }
+                assert_eq!(
+                    fast.get(s, d).unwrap().path(0),
+                    slow.get(s, d).unwrap().path(0),
+                    "{s}->{d}"
+                );
+            }
+        }
+        assert_eq!(fast.max_hops(), slow.max_hops());
+    }
+
+    #[test]
+    fn all_pairs_shortest_randomized_has_correct_lengths() {
+        let g = small_graph();
+        let det = PathTable::all_pairs_shortest(&g, false, 0);
+        let rnd = PathTable::all_pairs_shortest(&g, true, 7);
+        let mut any_different = false;
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                if s == d {
+                    continue;
+                }
+                let a = det.get(s, d).unwrap().path(0);
+                let b = rnd.get(s, d).unwrap().path(0);
+                assert_eq!(a.len(), b.len(), "{s}->{d} length differs");
+                any_different |= a != b;
+            }
+        }
+        assert!(any_different, "randomization should change at least one path");
+        // Determinism per seed.
+        let rnd2 = PathTable::all_pairs_shortest(&g, true, 7);
+        for (s, d, ps) in rnd.entries() {
+            assert_eq!(rnd2.get(s, d), Some(ps));
+        }
+    }
+
+    #[test]
+    fn pair_set_materialize() {
+        assert_eq!(PairSet::AllPairs.materialize(3).len(), 6);
+        let p = PairSet::Pairs(vec![(1, 0), (0, 1), (1, 0), (2, 2)]);
+        assert_eq!(p.materialize(3), vec![(0, 1), (1, 0)]);
+    }
+}

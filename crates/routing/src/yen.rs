@@ -1,0 +1,248 @@
+//! Yen's k-shortest loopless paths (the paper's Figure 2).
+//!
+//! The tie-break policy of the underlying shortest-path search is threaded
+//! through, yielding the paper's **KSP** (deterministic) and **rKSP**
+//! (randomized) path-selection schemes. When the candidate container `B`
+//! holds several shortest candidates, the same policy decides which one is
+//! promoted: lexicographically smallest for the deterministic variant,
+//! uniformly random for the randomized variant.
+
+use crate::bfs::{shortest_path_with, SpScratch, TieBreak};
+use crate::mask::Mask;
+use jellyfish_topology::{Graph, NodeId};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Computes up to `k` shortest loopless paths from `src` to `dst`.
+///
+/// Paths are returned in the order found (non-decreasing length). Fewer
+/// than `k` paths are returned when the graph does not contain `k`
+/// distinct loopless paths. Returns an empty vector if `dst` is
+/// unreachable or `src == dst`.
+pub fn k_shortest_paths(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    tiebreak: &mut TieBreak<'_>,
+) -> Vec<Vec<NodeId>> {
+    if k == 0 || src == dst {
+        return Vec::new();
+    }
+    let mut mask = Mask::new(graph);
+    let mut scratch = SpScratch::for_graph(graph);
+
+    // Container A: the k shortest paths found so far.
+    let mut a: Vec<Vec<NodeId>> = Vec::with_capacity(k);
+    // Container B: candidate paths (kept across iterations, as in Yen's
+    // original formulation) plus a dedup set.
+    let mut b: Vec<Vec<NodeId>> = Vec::new();
+    let mut b_seen: HashSet<Vec<NodeId>> = HashSet::new();
+
+    match shortest_path_with(graph, src, dst, &mask, tiebreak, &mut scratch) {
+        Some(p) => a.push(p),
+        None => return Vec::new(),
+    }
+
+    while a.len() < k {
+        let prev = a.last().expect("A is non-empty").clone();
+        // For each spur node along the previous path (all nodes except the
+        // destination), search for a deviation.
+        for j in 0..prev.len() - 1 {
+            let spur = prev[j];
+            let root = &prev[..=j];
+
+            // Remove the next edge of every already-accepted path sharing
+            // this root, so the spur search cannot rediscover it.
+            for p in &a {
+                if p.len() > j + 1 && p[..=j] == *root {
+                    mask.remove_edge(graph, p[j], p[j + 1]);
+                }
+            }
+            // Remove candidate paths' continuations too: not in the paper's
+            // figure, but candidates in B were already generated and the
+            // dedup set rejects rediscoveries, so masking only A suffices.
+
+            // Remove all root nodes except the spur node.
+            for &node in &root[..j] {
+                mask.remove_node(node);
+            }
+
+            if let Some(spur_path) =
+                shortest_path_with(graph, spur, dst, &mask, tiebreak, &mut scratch)
+            {
+                let mut total = Vec::with_capacity(j + spur_path.len());
+                total.extend_from_slice(&root[..j]);
+                total.extend_from_slice(&spur_path);
+                if !b_seen.contains(&total) {
+                    b_seen.insert(total.clone());
+                    b.push(total);
+                }
+            }
+
+            mask.reset();
+        }
+
+        if b.is_empty() {
+            break;
+        }
+        // Promote the shortest candidate; ties resolved per policy.
+        let idx = select_candidate(&b, tiebreak);
+        let chosen = b.swap_remove(idx);
+        b_seen.remove(&chosen);
+        a.push(chosen);
+    }
+    a
+}
+
+/// Index of the candidate to promote from `B`.
+fn select_candidate(b: &[Vec<NodeId>], tiebreak: &mut TieBreak<'_>) -> usize {
+    let min_len = b.iter().map(Vec::len).min().expect("B non-empty");
+    match tiebreak {
+        TieBreak::Deterministic => {
+            // Lexicographically smallest among the shortest: reproducible
+            // and biased toward low node ranks, like the vanilla search.
+            let mut best: Option<usize> = None;
+            for (i, p) in b.iter().enumerate() {
+                if p.len() == min_len && best.is_none_or(|bi| p < &b[bi]) {
+                    best = Some(i);
+                }
+            }
+            best.expect("at least one shortest candidate")
+        }
+        TieBreak::Randomized(rng) => {
+            let count = b.iter().filter(|p| p.len() == min_len).count();
+            let pick = rng.random_range(0..count);
+            b.iter()
+                .enumerate()
+                .filter(|(_, p)| p.len() == min_len)
+                .nth(pick)
+                .map(|(i, _)| i)
+                .expect("pick within count")
+        }
+    }
+}
+
+/// Validates that `path` is a simple path from `src` to `dst` in `graph`.
+/// Exposed for tests and property checks in dependent crates.
+pub fn is_valid_simple_path(graph: &Graph, src: NodeId, dst: NodeId, path: &[NodeId]) -> bool {
+    if path.len() < 2 || path[0] != src || *path.last().unwrap() != dst {
+        return false;
+    }
+    let mut seen = HashSet::with_capacity(path.len());
+    for w in path.windows(2) {
+        if !graph.has_edge(w[0], w[1]) {
+            return false;
+        }
+    }
+    path.iter().all(|&n| seen.insert(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::tests::figure3;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vanilla_ksp_reproduces_figure3a_bias() {
+        // Paper Fig. 3(a): vanilla KSP(3) from S1(0) to D1(9) picks
+        // P0 = S1-A-G-D1, then P1 = S1-A-E-G-D1, P2 = S1-A-E-H-D1 —
+        // all three sharing the S1->A link.
+        let g = figure3();
+        let paths = k_shortest_paths(&g, 0, 9, 3, &mut TieBreak::Deterministic);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0], vec![0, 1, 6, 9]);
+        assert_eq!(paths[1], vec![0, 1, 4, 6, 9]);
+        assert_eq!(paths[2], vec![0, 1, 4, 7, 9]);
+        // The bias: every path uses first hop S1 -> A.
+        assert!(paths.iter().all(|p| p[1] == 1));
+    }
+
+    #[test]
+    fn randomized_ksp_breaks_the_bias() {
+        // With randomization the two 4-hop picks are drawn from all six
+        // candidates, so across seeds the first hop should vary.
+        let g = figure3();
+        let mut distinct_first_hops = HashSet::new();
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let paths = k_shortest_paths(&g, 0, 9, 3, &mut TieBreak::Randomized(&mut rng));
+            assert_eq!(paths.len(), 3);
+            assert_eq!(paths[0].len(), 4, "first path must be the 3-hop path");
+            for p in &paths[1..] {
+                assert_eq!(p.len(), 5);
+                distinct_first_hops.insert(p[1]);
+            }
+        }
+        assert!(
+            distinct_first_hops.len() >= 2,
+            "randomization should spread over first hops, got {distinct_first_hops:?}"
+        );
+    }
+
+    #[test]
+    fn paths_are_simple_and_ordered_by_length() {
+        let g = figure3();
+        for k in 1..=7 {
+            let paths = k_shortest_paths(&g, 0, 9, k, &mut TieBreak::Deterministic);
+            assert!(paths.len() <= k);
+            for p in &paths {
+                assert!(is_valid_simple_path(&g, 0, 9, p), "invalid path {p:?}");
+            }
+            for w in paths.windows(2) {
+                assert!(w[0].len() <= w[1].len(), "paths out of order");
+            }
+            // All paths distinct.
+            let set: HashSet<_> = paths.iter().collect();
+            assert_eq!(set.len(), paths.len());
+        }
+    }
+
+    #[test]
+    fn finds_exactly_the_available_paths() {
+        // Figure 3 has exactly 1 three-hop + 6 four-hop short paths, plus
+        // some longer simple paths; requesting 7 must yield 7 distinct
+        // simple paths with the first seven lengths 4,5,5,5,5,5,5 (node
+        // counts).
+        let g = figure3();
+        let paths = k_shortest_paths(&g, 0, 9, 7, &mut TieBreak::Deterministic);
+        assert_eq!(paths.len(), 7);
+        assert_eq!(paths[0].len(), 4);
+        assert!(paths[1..].iter().all(|p| p.len() == 5));
+    }
+
+    #[test]
+    fn k_larger_than_path_count_returns_all() {
+        let g = jellyfish_topology::Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let paths = k_shortest_paths(&g, 0, 2, 10, &mut TieBreak::Deterministic);
+        assert_eq!(paths, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn unreachable_and_degenerate_inputs() {
+        let g = jellyfish_topology::Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(k_shortest_paths(&g, 0, 3, 4, &mut TieBreak::Deterministic).is_empty());
+        assert!(k_shortest_paths(&g, 0, 0, 4, &mut TieBreak::Deterministic).is_empty());
+        assert!(k_shortest_paths(&g, 0, 1, 0, &mut TieBreak::Deterministic).is_empty());
+    }
+
+    #[test]
+    fn deterministic_is_reproducible() {
+        let g = figure3();
+        let a = k_shortest_paths(&g, 0, 9, 5, &mut TieBreak::Deterministic);
+        let b = k_shortest_paths(&g, 0, 9, 5, &mut TieBreak::Deterministic);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn randomized_is_reproducible_per_seed() {
+        let g = figure3();
+        let mut r1 = StdRng::seed_from_u64(77);
+        let mut r2 = StdRng::seed_from_u64(77);
+        let a = k_shortest_paths(&g, 0, 9, 5, &mut TieBreak::Randomized(&mut r1));
+        let b = k_shortest_paths(&g, 0, 9, 5, &mut TieBreak::Randomized(&mut r2));
+        assert_eq!(a, b);
+    }
+}

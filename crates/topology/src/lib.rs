@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Jellyfish topology substrate.
+//!
+//! The Jellyfish interconnect (Singla et al., NSDI'12) uses a *random
+//! regular graph* (RRG) as its switch-level topology. A Jellyfish network is
+//! specified as `RRG(N, x, y)`:
+//!
+//! * `N` — number of switches,
+//! * `x` — ports per switch,
+//! * `y` — ports per switch that connect to other switches,
+//!
+//! so each switch attaches `x - y` compute nodes and the switch-level graph
+//! is `y`-regular with random connectivity.
+//!
+//! This crate provides:
+//!
+//! * [`Graph`] — a compact CSR-based undirected graph with stable directed
+//!   *link* identifiers (needed by the routing, modeling, and simulation
+//!   crates to keep per-link state in flat arrays);
+//! * [`RrgParams`] / [`build_rrg`] — seeded random regular graph
+//!   construction using either the Jellyfish incremental procedure or the
+//!   configuration (pairing) model;
+//! * [`metrics`] — topology metrics reported in the paper (average shortest
+//!   path length, diameter, degree checks).
+//!
+//! All randomized procedures take explicit seeds so every experiment in the
+//! reproduction is deterministic.
+
+pub mod analysis;
+pub mod fattree;
+pub mod graph;
+pub mod metrics;
+pub mod rrg;
+
+pub use analysis::{distance_histogram, estimate_bisection, to_dot, BisectionEstimate, DistanceHistogram};
+pub use fattree::{build_fat_tree, FatTreeParams};
+pub use graph::{Graph, GraphBuilder, LinkId, NodeId};
+pub use metrics::{average_shortest_path_length, diameter, TopologyStats};
+pub use rrg::{build_rrg, ConstructionMethod, RrgError, RrgParams};

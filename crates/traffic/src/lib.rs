@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+//! Traffic patterns, process-to-node mappings, and synthetic traces.
+//!
+//! The paper evaluates with three families of workloads:
+//!
+//! * **model patterns** (Section IV-A, used with the throughput model):
+//!   random permutation, random shift-N, Random(X), and all-to-all;
+//! * **simulator patterns** (used with the Booksim-equivalent):
+//!   random permutation, random shift-N, and uniform-random;
+//! * **stencil applications** (used with the CODES-equivalent): 2D/3D
+//!   nearest-neighbor exchanges with and without diagonals, under linear
+//!   and random process-to-node mappings.
+//!
+//! All patterns operate on *compute nodes* (hosts); helpers convert host
+//! flows into the switch pairs that the routing crate needs.
+
+pub mod collectives;
+pub mod mapping;
+pub mod pattern;
+pub mod stencil;
+pub mod synthetic;
+pub mod trace;
+
+pub use collectives::Collective;
+pub use mapping::Mapping;
+pub use pattern::{
+    all_to_all, random_permutation, random_shift, random_x, shift, Flow, PacketDestinations,
+};
+pub use stencil::{StencilApp, StencilKind};
+pub use synthetic::SyntheticPattern;
+pub use trace::{stencil_trace, FlowSpec, Trace};
+
+use jellyfish_topology::{NodeId, RrgParams};
+
+/// Deduplicated inter-switch ordered pairs touched by a set of host flows.
+///
+/// Flows between hosts on the same switch never enter the network and are
+/// dropped, matching how the paper's simulators treat them.
+pub fn switch_pairs(flows: &[Flow], params: &RrgParams) -> Vec<(NodeId, NodeId)> {
+    let mut pairs: Vec<(NodeId, NodeId)> = flows
+        .iter()
+        .map(|f| (params.switch_of_host(f.src as usize), params.switch_of_host(f.dst as usize)))
+        .filter(|(s, d)| s != d)
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_pairs_dedup_and_drop_local() {
+        let p = RrgParams::new(4, 4, 2); // 2 hosts per switch, 8 hosts
+        let flows = vec![
+            Flow { src: 0, dst: 1 }, // same switch 0 -> dropped
+            Flow { src: 0, dst: 2 }, // switch 0 -> 1
+            Flow { src: 1, dst: 3 }, // switch 0 -> 1 (duplicate)
+            Flow { src: 7, dst: 0 }, // switch 3 -> 0
+        ];
+        assert_eq!(switch_pairs(&flows, &p), vec![(0, 1), (3, 0)]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Path-quality deep dive: reproduces the paper's Figure 3 walkthrough on
+//! its exact example topology, then contrasts the four selection schemes
+//! on a real RRG (Tables II–IV in miniature).
+//!
+//! ```text
+//! cargo run --release --example path_quality
+//! ```
+
+use jellyfish::prelude::*;
+use jellyfish::routing::{edge_disjoint_paths, k_shortest_paths, shortest_path, Mask, TieBreak};
+use jellyfish::JellyfishNetwork;
+use jellyfish_topology::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The topology of the paper's Figure 3. Labels: S1=0, A=1, B=2, C=3,
+/// E=4, F=5, G=6, H=7, I=8, D1=9.
+fn figure3_graph() -> Graph {
+    Graph::from_edges(
+        10,
+        &[
+            (0, 1), (0, 2), (0, 3), // S1 -> A, B, C
+            (1, 6), (1, 4), (2, 4), (3, 5), // A-G, A-E, B-E, C-F
+            (4, 6), (4, 7), (5, 7), (5, 8), // E-G, E-H, F-H, F-I
+            (6, 9), (7, 9), (8, 9), // G, H, I -> D1
+        ],
+    )
+}
+
+const NAMES: [&str; 10] = ["S1", "A", "B", "C", "E", "F", "G", "H", "I", "D1"];
+
+fn show(path: &[u32]) -> String {
+    path.iter().map(|&n| NAMES[n as usize]).collect::<Vec<_>>().join("->")
+}
+
+fn main() {
+    let g = figure3_graph();
+    println!("== Figure 3 walkthrough: 3 paths from S1 to D1 ==");
+
+    let mask = Mask::new(&g);
+    let sp = shortest_path(&g, 0, 9, &mask, &mut TieBreak::Deterministic).unwrap();
+    println!("shortest path: {}", show(&sp));
+
+    let vanilla = k_shortest_paths(&g, 0, 9, 3, &mut TieBreak::Deterministic);
+    println!("\nvanilla KSP(3) — every path squeezes through S1->A:");
+    for p in &vanilla {
+        println!("  {}", show(p));
+    }
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let randomized = k_shortest_paths(&g, 0, 9, 3, &mut TieBreak::Randomized(&mut rng));
+    println!("\nrandomized KSP(3) — ties broken uniformly:");
+    for p in &randomized {
+        println!("  {}", show(p));
+    }
+
+    let disjoint = edge_disjoint_paths(&g, 0, 9, 3, &mut TieBreak::Deterministic);
+    println!("\nedge-disjoint KSP(3) — full bandwidth of three paths:");
+    for p in &disjoint {
+        println!("  {}", show(p));
+    }
+
+    println!("\n== The same effect on a real RRG(36,24,16), all pairs, k = 8 ==");
+    let net = JellyfishNetwork::build(RrgParams::small(), 5).unwrap();
+    println!(
+        "{:<12} {:>9} {:>11} {:>10}",
+        "selection", "avg hops", "% disjoint", "max share"
+    );
+    for sel in [
+        PathSelection::Ksp(8),
+        PathSelection::RKsp(8),
+        PathSelection::EdKsp(8),
+        PathSelection::REdKsp(8),
+    ] {
+        let table = net.paths(sel, &PairSet::AllPairs, 9);
+        let p = net.path_properties(&table);
+        println!(
+            "{:<12} {:>9.2} {:>10.0}% {:>10}",
+            sel.name(),
+            p.avg_path_len,
+            p.disjoint_pair_fraction * 100.0,
+            p.max_link_share
+        );
+    }
+    println!("\n(KSP shares links heavily; the edge-disjoint variants never do,");
+    println!(" and randomization barely changes path lengths — Tables II-IV.)");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: build a Jellyfish network, select paths, and evaluate a
+//! workload three ways (path quality, throughput model, cycle simulation).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use jellyfish::prelude::*;
+use jellyfish::JellyfishNetwork;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The paper's small topology: 36 switches with 24 ports each, 16 of
+    // which form the random regular switch fabric -> 288 compute nodes.
+    let params = RrgParams::small();
+    let net = JellyfishNetwork::build(params, 2021).expect("RRG construction");
+    let stats = net.stats();
+    println!(
+        "built RRG({}, {}, {}): {} hosts, avg shortest path {:.2} hops, diameter {}",
+        params.switches,
+        params.ports,
+        params.network_ports,
+        params.num_hosts(),
+        stats.avg_shortest_path_len,
+        stats.diameter
+    );
+
+    // Path selection: the paper's best scheme (randomized edge-disjoint
+    // KSP) vs. the vanilla KSP baseline.
+    let redksp = net.paths(PathSelection::REdKsp(8), &PairSet::AllPairs, 1);
+    let ksp = net.paths(PathSelection::Ksp(8), &PairSet::AllPairs, 1);
+    for (name, table) in [("KSP(8)", &ksp), ("rEDKSP(8)", &redksp)] {
+        let p = net.path_properties(table);
+        println!(
+            "{name:>10}: avg len {:.2} hops, {:.0}% pairs link-disjoint, worst link shared by {} paths",
+            p.avg_path_len,
+            p.disjoint_pair_fraction * 100.0,
+            p.max_link_share
+        );
+    }
+
+    // Throughput model (Eq. 1) on one random permutation.
+    let mut rng = StdRng::seed_from_u64(7);
+    let flows = random_permutation(params.num_hosts(), &mut rng);
+    let m_ksp = net.model_throughput(&ksp, &flows);
+    let m_red = net.model_throughput(&redksp, &flows);
+    println!(
+        "model throughput (random permutation): KSP(8) {:.3}, rEDKSP(8) {:.3}",
+        m_ksp.mean, m_red.mean
+    );
+
+    // Cycle-level simulation with the paper's KSP-adaptive mechanism at a
+    // moderate load.
+    let pattern = PacketDestinations::from_flows(params.num_hosts(), &flows);
+    let run = net.simulate(
+        &redksp,
+        None,
+        Mechanism::KspAdaptive,
+        &pattern,
+        0.3,
+        SimConfig::paper(),
+    );
+    println!(
+        "flit-sim at 0.3 load (KSP-adaptive over rEDKSP): avg latency {:.1} cycles, accepted {:.3}, saturated: {}",
+        run.avg_latency, run.accepted, run.saturated
+    );
+}

@@ -1,0 +1,59 @@
+//! Topology tooling walkthrough: sample RRG instances, inspect their
+//! structure (distance histogram, bisection estimate), export to
+//! Graphviz, and cache a path table on disk with the text serializer.
+//!
+//! ```text
+//! cargo run --release --example topology_tools
+//! ```
+
+use jellyfish::prelude::*;
+use jellyfish::routing::{load_table, save_table};
+use jellyfish::topology::analysis::{distance_histogram, estimate_bisection, to_dot};
+use jellyfish::JellyfishNetwork;
+
+fn main() {
+    let params = RrgParams::new(36, 24, 16);
+    println!("comparing RRG construction methods on RRG(36,24,16):\n");
+    println!(
+        "{:<14} {:>9} {:>9} {:>16} {:>14}",
+        "method", "avg spl", "diameter", "pairs <= 2 hops", "bisection est."
+    );
+    for (name, method) in [
+        ("incremental", ConstructionMethod::Incremental),
+        ("pairing", ConstructionMethod::PairingModel),
+    ] {
+        let net = JellyfishNetwork::build_with(params, method, 7).expect("RRG construction");
+        let stats = net.stats();
+        let hist = distance_histogram(net.graph());
+        let bis = estimate_bisection(net.graph(), 8, 7);
+        println!(
+            "{:<14} {:>9.3} {:>9} {:>15.1}% {:>8} edges",
+            name,
+            stats.avg_shortest_path_len,
+            stats.diameter,
+            hist.cumulative_fraction(2) * 100.0,
+            bis.min_cut_edges
+        );
+    }
+
+    // Export a small instance for visualization.
+    let net = JellyfishNetwork::build(RrgParams::new(12, 6, 3), 1).unwrap();
+    let dot = to_dot(net.graph(), "jellyfish12");
+    let dot_path = std::env::temp_dir().join("jellyfish12.dot");
+    std::fs::write(&dot_path, &dot).expect("write dot file");
+    println!("\nwrote {} ({} edges) — render with `dot -Tpng`", dot_path.display(), net.graph().num_edges());
+
+    // Cache an expensive path table and reload it.
+    let table = net.paths(PathSelection::REdKsp(3), &PairSet::AllPairs, 5);
+    let cache = std::env::temp_dir().join("jellyfish12.paths");
+    save_table(&table, &cache).expect("save path table");
+    let loaded = load_table(&cache).expect("reload path table");
+    println!(
+        "cached {} pairs of rEDKSP(3) paths to {} and reloaded {} pairs (max {} hops)",
+        table.num_pairs(),
+        cache.display(),
+        loaded.num_pairs(),
+        loaded.max_hops()
+    );
+    assert_eq!(loaded.num_pairs(), table.num_pairs());
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every remaining quick-scale artifact sequentially and logs it.
+# (table1/properties/fig7/fig8 are cheap to re-run individually; include
+# them with `all` if you want one log.)
+set -u
+BIN=${BIN:-target/release/repro}
+for e in "$@"; do
+  echo "=== $e ==="
+  "$BIN" "$e"
+  echo
+done

@@ -1,0 +1,137 @@
+//! Cross-validation between independent components: the throughput model,
+//! the cycle-level simulator, and analytic expectations validate each
+//! other on workloads where the answer is known.
+
+use jellyfish::prelude::*;
+use jellyfish::JellyfishNetwork;
+use jellyfish_routing::PairSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn network() -> JellyfishNetwork {
+    JellyfishNetwork::build(RrgParams::new(18, 12, 8), 99).unwrap()
+}
+
+#[test]
+fn flitsim_accepted_tracks_offered_below_saturation() {
+    // Conservation: below saturation the network must deliver what is
+    // offered (within sampling noise).
+    let net = network();
+    let table = net.paths(PathSelection::REdKsp(8), &PairSet::AllPairs, 1);
+    let pattern = PacketDestinations::Uniform { num_hosts: net.params().num_hosts() };
+    for rate in [0.05, 0.15, 0.25] {
+        let r = net.simulate(&table, None, Mechanism::Random, &pattern, rate, SimConfig::paper());
+        assert!(!r.saturated, "rate {rate} unexpectedly saturated");
+        assert!(
+            (r.accepted - rate).abs() < 0.02,
+            "accepted {} vs offered {rate}",
+            r.accepted
+        );
+    }
+}
+
+#[test]
+fn flitsim_latency_floor_matches_channel_latency() {
+    // At near-zero load, latency ~= hops * (channel latency + switch
+    // crossing). Injection/ejection cross the router without a channel
+    // (see DESIGN.md), so with 10-cycle channels and an average shortest
+    // path of ~1.6 hops on this instance the mean must land between one
+    // hop's worth (~11) and a few hops' worth (~60); anything outside
+    // indicates a timing bug.
+    let net = network();
+    let table = net.paths(PathSelection::REdKsp(8), &PairSet::AllPairs, 1);
+    let pattern = PacketDestinations::Uniform { num_hosts: net.params().num_hosts() };
+    let r = net.simulate(&table, None, Mechanism::SinglePath, &pattern, 0.01, SimConfig::paper());
+    assert!(
+        (11.0..60.0).contains(&r.avg_latency),
+        "zero-load latency {} outside sane band",
+        r.avg_latency
+    );
+}
+
+#[test]
+fn model_and_flitsim_agree_on_scheme_ranking() {
+    // For a fixed permutation, compare KSP vs rEDKSP in both the model
+    // and the simulator: the rEDKSP advantage in the model must not turn
+    // into a significant disadvantage in the simulator.
+    let net = network();
+    let hosts = net.params().num_hosts();
+    let mut rng = StdRng::seed_from_u64(12);
+    let flows = random_permutation(hosts, &mut rng);
+    let pairs = PairSet::Pairs(switch_pairs(&flows, net.params()));
+    let pattern = PacketDestinations::from_flows(hosts, &flows);
+
+    let mut model_vals = Vec::new();
+    let mut sat_vals = Vec::new();
+    for sel in [PathSelection::Ksp(8), PathSelection::REdKsp(8)] {
+        let table = net.paths(sel, &pairs, 4);
+        model_vals.push(net.model_throughput(&table, &flows).mean);
+        sat_vals.push(net.saturation_throughput(
+            &table,
+            None,
+            Mechanism::Random,
+            &pattern,
+            0.05,
+            SimConfig::paper(),
+        ));
+    }
+    let model_gain = model_vals[1] / model_vals[0];
+    let sim_gain = sat_vals[1] / sat_vals[0];
+    assert!(model_gain >= 0.99, "model: rEDKSP should not lose to KSP ({model_gain})");
+    assert!(
+        sim_gain > model_gain - 0.3,
+        "simulator contradicts model: sim gain {sim_gain}, model gain {model_gain}"
+    );
+}
+
+#[test]
+fn appsim_time_matches_bandwidth_bound_on_permutation() {
+    // A permutation where every flow has edge-disjoint fabric capacity is
+    // injection-bound: completion time ~= volume / bandwidth.
+    let net = network();
+    let hosts = net.params().num_hosts();
+    let mut rng = StdRng::seed_from_u64(3);
+    let flows = random_permutation(hosts, &mut rng);
+    let bytes_per_flow = 1_500_000u64; // 1000 packets
+    let trace = jellyfish_traffic::Trace {
+        flows: flows
+            .iter()
+            .map(|f| jellyfish_traffic::FlowSpec { src: f.src, dst: f.dst, bytes: bytes_per_flow })
+            .collect(),
+    };
+    let pairs = PairSet::Pairs(switch_pairs(&flows, net.params()));
+    let table = net.paths(PathSelection::REdKsp(8), &pairs, 5);
+    let r = net.simulate_trace(&table, AppMechanism::KspAdaptive, &trace, AppSimConfig::paper());
+    assert_eq!(r.delivered_packets, r.total_packets);
+    // Lower bound: 1000 packets x 75ns = 75 us. Congestion can stretch
+    // it, but more than 4x would mean pathological routing.
+    let lower = 1000.0 * 75e-9;
+    assert!(r.completion_time_s >= lower, "{} < physical bound {lower}", r.completion_time_s);
+    assert!(
+        r.completion_time_s < 4.0 * lower,
+        "{} far above bandwidth bound {lower}",
+        r.completion_time_s
+    );
+}
+
+#[test]
+fn ugal_variants_fall_back_to_min_paths_at_low_load() {
+    // At trivial load the adaptive estimate ties (all queues empty), so
+    // UGAL routes minimally and latency matches single-path routing.
+    let net = network();
+    let table = net.paths(PathSelection::REdKsp(8), &PairSet::AllPairs, 1);
+    let sp = net.shortest_paths(true, 2);
+    let pattern = PacketDestinations::Uniform { num_hosts: net.params().num_hosts() };
+    let min_run =
+        net.simulate(&table, None, Mechanism::SinglePath, &pattern, 0.02, SimConfig::paper());
+    for mech in [Mechanism::VanillaUgal, Mechanism::KspUgal] {
+        let r = net.simulate(&table, Some(&sp), mech, &pattern, 0.02, SimConfig::paper());
+        assert!(
+            (r.avg_latency - min_run.avg_latency).abs() < 10.0,
+            "{}: latency {} vs minimal {}",
+            mech.name(),
+            r.avg_latency,
+            min_run.avg_latency
+        );
+    }
+}

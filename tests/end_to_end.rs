@@ -1,0 +1,141 @@
+//! Cross-crate integration: the paper's claims hold end-to-end across all
+//! three evaluation methodologies (path properties, throughput model,
+//! both simulators) on a laptop-sized Jellyfish instance.
+
+use jellyfish::prelude::*;
+use jellyfish::JellyfishNetwork;
+use jellyfish_routing::PairSet;
+use jellyfish_traffic::stencil_trace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's small topology: y = 16 >> k = 8, diameter >= 2 (so the
+/// vanilla-KSP bias is visible).
+fn network() -> JellyfishNetwork {
+    JellyfishNetwork::build(RrgParams::small(), 2021).unwrap()
+}
+
+#[test]
+fn path_quality_ordering_holds() {
+    let net = network();
+    let ksp = net.path_properties(&net.paths(PathSelection::Ksp(8), &PairSet::AllPairs, 1));
+    let rksp = net.path_properties(&net.paths(PathSelection::RKsp(8), &PairSet::AllPairs, 1));
+    let edksp = net.path_properties(&net.paths(PathSelection::EdKsp(8), &PairSet::AllPairs, 1));
+    let redksp =
+        net.path_properties(&net.paths(PathSelection::REdKsp(8), &PairSet::AllPairs, 1));
+
+    // Table III ordering: disjointness KSP <= rKSP << EDKSP == rEDKSP == 1.
+    assert!(ksp.disjoint_pair_fraction <= rksp.disjoint_pair_fraction + 0.05);
+    assert_eq!(edksp.disjoint_pair_fraction, 1.0);
+    assert_eq!(redksp.disjoint_pair_fraction, 1.0);
+    // Table IV ordering: max sharing collapses to 1 with edge-disjointness.
+    assert_eq!(edksp.max_link_share, 1);
+    assert_eq!(redksp.max_link_share, 1);
+    assert!(ksp.max_link_share > 1);
+    // Table II: randomization never lengthens; edge-disjointness may, a
+    // little.
+    assert!((ksp.avg_path_len - rksp.avg_path_len).abs() < 1e-9);
+    assert!(redksp.avg_path_len <= ksp.avg_path_len * 1.15);
+}
+
+#[test]
+fn model_prefers_redksp_on_permutations() {
+    let net = network();
+    let hosts = net.params().num_hosts();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut wins = 0;
+    let rounds = 10;
+    for _ in 0..rounds {
+        let flows = random_permutation(hosts, &mut rng);
+        let pairs = PairSet::Pairs(switch_pairs(&flows, net.params()));
+        let ksp = net.paths(PathSelection::Ksp(8), &pairs, 3);
+        let red = net.paths(PathSelection::REdKsp(8), &pairs, 3);
+        let t_ksp = net.model_throughput(&ksp, &flows).mean;
+        let t_red = net.model_throughput(&red, &flows).mean;
+        if t_red >= t_ksp {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 8, "rEDKSP won only {wins}/{rounds} permutations in the model");
+}
+
+#[test]
+fn flitsim_saturation_ordering() {
+    // KSP-adaptive over rEDKSP(8) must reach at least the saturation
+    // throughput of oblivious random over vanilla KSP(8) — the paper's
+    // strongest-vs-weakest combination (Figures 7-10).
+    let net = network();
+    let pattern = PacketDestinations::Uniform { num_hosts: net.params().num_hosts() };
+    let ksp = net.paths(PathSelection::Ksp(8), &PairSet::AllPairs, 1);
+    let red = net.paths(PathSelection::REdKsp(8), &PairSet::AllPairs, 1);
+    let weak = net.saturation_throughput(
+        &ksp,
+        None,
+        Mechanism::Random,
+        &pattern,
+        0.05,
+        SimConfig::paper(),
+    );
+    let strong = net.saturation_throughput(
+        &red,
+        None,
+        Mechanism::KspAdaptive,
+        &pattern,
+        0.05,
+        SimConfig::paper(),
+    );
+    assert!(
+        strong >= weak,
+        "KSP-adaptive/rEDKSP ({strong}) below random/KSP ({weak})"
+    );
+    // And both far above single-path routing.
+    let sp_table = net.paths(PathSelection::SinglePath, &PairSet::AllPairs, 1);
+    let sp = net.saturation_throughput(
+        &sp_table,
+        None,
+        Mechanism::SinglePath,
+        &pattern,
+        0.05,
+        SimConfig::paper(),
+    );
+    assert!(strong > sp, "multi-path {strong} should beat single path {sp}");
+}
+
+#[test]
+fn appsim_stencil_ordering() {
+    // Tables V-VI in miniature: rEDKSP(8) communication time is not worse
+    // than vanilla KSP(8) on a 2D stencil (allowing a little noise).
+    let net = network();
+    let ranks = net.params().num_hosts();
+    let app = StencilApp::for_ranks(StencilKind::Nn2d, ranks).expect("factorable");
+    let trace = stencil_trace(&app, Mapping::Linear, 750_000, ranks);
+    let pairs = PairSet::Pairs(switch_pairs(&trace.host_flows(), net.params()));
+    let mut times = std::collections::HashMap::new();
+    for sel in [PathSelection::Ksp(8), PathSelection::REdKsp(8)] {
+        let table = net.paths(sel, &pairs, 2);
+        let r = net.simulate_trace(&table, AppMechanism::KspAdaptive, &trace, AppSimConfig::paper());
+        assert_eq!(r.delivered_packets, r.total_packets);
+        times.insert(sel.name(), r.completion_time_s);
+    }
+    let red = times["rEDKSP(8)"];
+    let ksp = times["KSP(8)"];
+    assert!(red <= ksp * 1.05, "rEDKSP {red} vs KSP {ksp}");
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let net = network();
+        let flows = random_permutation(net.params().num_hosts(), &mut StdRng::seed_from_u64(7));
+        let pairs = PairSet::Pairs(switch_pairs(&flows, net.params()));
+        let table = net.paths(PathSelection::REdKsp(8), &pairs, 9);
+        let model = net.model_throughput(&table, &flows).mean;
+        let pattern = PacketDestinations::from_flows(net.params().num_hosts(), &flows);
+        let sim = net.simulate(&table, None, Mechanism::KspAdaptive, &pattern, 0.25, SimConfig::paper());
+        (model, sim)
+    };
+    let (m1, s1) = run();
+    let (m2, s2) = run();
+    assert_eq!(m1, m2);
+    assert_eq!(s1, s2);
+}

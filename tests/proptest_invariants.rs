@@ -1,0 +1,183 @@
+//! Property-based tests over the core data structures and algorithms.
+//!
+//! These complement the unit tests with randomized coverage: arbitrary
+//! topology parameters, arbitrary pair/k choices, and randomized seeds,
+//! checking the structural invariants the rest of the system relies on.
+
+use jellyfish_routing::{
+    edge_disjoint_paths, k_shortest_paths, shortest_path, Mask, PairSet, PathSelection,
+    PathTable, TieBreak,
+};
+use jellyfish_topology::{build_rrg, ConstructionMethod, RrgParams};
+use jellyfish_traffic::{random_permutation, random_x, shift, StencilApp, StencilKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameter strategy: y-regular graphs that are valid and small enough
+/// to exercise quickly, with N*y even and y < N.
+fn rrg_params() -> impl Strategy<Value = (RrgParams, u64)> {
+    (4usize..24, 2usize..8, any::<u64>()).prop_filter_map(
+        "valid RRG parameters",
+        |(n, y, seed)| {
+            if y >= n || (n * y) % 2 != 0 {
+                return None;
+            }
+            Some((RrgParams::new(n, y + 2, y), seed))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rrg_is_always_regular_and_connected((params, seed) in rrg_params()) {
+        let g = build_rrg(params, ConstructionMethod::Incremental, seed).unwrap();
+        prop_assert!(g.is_regular(params.network_ports));
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.num_edges(), params.switches * params.network_ports / 2);
+    }
+
+    #[test]
+    fn pairing_model_matches_invariants((params, seed) in rrg_params()) {
+        let g = build_rrg(params, ConstructionMethod::PairingModel, seed).unwrap();
+        prop_assert!(g.is_regular(params.network_ports));
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn ksp_paths_are_simple_sorted_distinct(
+        (params, seed) in rrg_params(),
+        k in 1usize..10,
+        randomized in any::<bool>(),
+    ) {
+        let g = build_rrg(params, ConstructionMethod::Incremental, seed).unwrap();
+        let (src, dst) = (0u32, (params.switches - 1) as u32);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tb = if randomized {
+            TieBreak::Randomized(&mut rng)
+        } else {
+            TieBreak::Deterministic
+        };
+        let paths = k_shortest_paths(&g, src, dst, k, &mut tb);
+        prop_assert!(!paths.is_empty());
+        prop_assert!(paths.len() <= k);
+        // First path is a true shortest path.
+        let mask = Mask::new(&g);
+        let sp = shortest_path(&g, src, dst, &mask, &mut TieBreak::Deterministic).unwrap();
+        prop_assert_eq!(paths[0].len(), sp.len());
+        for w in paths.windows(2) {
+            prop_assert!(w[0].len() <= w[1].len(), "paths out of length order");
+            prop_assert!(w[0] != w[1], "duplicate path");
+        }
+        for p in &paths {
+            prop_assert_eq!(p[0], src);
+            prop_assert_eq!(*p.last().unwrap(), dst);
+            let mut seen = std::collections::HashSet::new();
+            for &n in p {
+                prop_assert!(seen.insert(n), "loop in path {:?}", p);
+            }
+            for e in p.windows(2) {
+                prop_assert!(g.has_edge(e[0], e[1]), "non-edge in path");
+            }
+        }
+        // All paths distinct (not just adjacent ones).
+        let set: std::collections::HashSet<_> = paths.iter().collect();
+        prop_assert_eq!(set.len(), paths.len());
+    }
+
+    #[test]
+    fn remove_find_paths_are_disjoint_and_bounded(
+        (params, seed) in rrg_params(),
+        k in 1usize..10,
+    ) {
+        let g = build_rrg(params, ConstructionMethod::Incremental, seed).unwrap();
+        let (src, dst) = (0u32, 1u32);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let paths = edge_disjoint_paths(&g, src, dst, k, &mut TieBreak::Randomized(&mut rng));
+        prop_assert!(!paths.is_empty(), "connected graph must have one path");
+        prop_assert!(paths.len() <= k.min(params.network_ports));
+        prop_assert!(jellyfish_routing::disjoint::are_edge_disjoint(&g, &paths));
+    }
+
+    #[test]
+    fn path_table_lookup_agrees_with_direct_computation(
+        (params, seed) in rrg_params(),
+    ) {
+        let g = build_rrg(params, ConstructionMethod::Incremental, seed).unwrap();
+        let sel = PathSelection::REdKsp(4);
+        let pairs: Vec<(u32, u32)> = vec![(0, 1), (1, 0), (0, (params.switches - 1) as u32)];
+        let table = PathTable::compute(&g, sel, &PairSet::Pairs(pairs.clone()), seed);
+        for (s, d) in pairs {
+            let direct = sel.paths_for_pair(&g, s, d, seed);
+            let stored = table.get(s, d).unwrap();
+            prop_assert_eq!(stored.len(), direct.len());
+            for (i, p) in direct.iter().enumerate() {
+                prop_assert_eq!(stored.path(i), &p[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_pattern_is_permutation(n in 2usize..300, seed in any::<u64>()) {
+        let flows = random_permutation(n, &mut StdRng::seed_from_u64(seed));
+        let mut src_seen = vec![false; n];
+        let mut dst_seen = vec![false; n];
+        for f in &flows {
+            prop_assert!(f.src != f.dst);
+            prop_assert!(!src_seen[f.src as usize]);
+            prop_assert!(!dst_seen[f.dst as usize]);
+            src_seen[f.src as usize] = true;
+            dst_seen[f.dst as usize] = true;
+        }
+    }
+
+    #[test]
+    fn shift_pattern_is_a_bijection(n in 2usize..200, s in 1usize..500) {
+        let flows = shift(n, s);
+        if s % n == 0 {
+            prop_assert!(flows.is_empty());
+        } else {
+            prop_assert_eq!(flows.len(), n);
+            let mut dst_seen = vec![false; n];
+            for f in &flows {
+                prop_assert!(!dst_seen[f.dst as usize]);
+                dst_seen[f.dst as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn random_x_has_exact_out_degree(
+        n in 10usize..120,
+        x in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let flows = random_x(n, x, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(flows.len(), n * x);
+        let mut out = vec![0usize; n];
+        for f in &flows {
+            prop_assert!(f.src != f.dst);
+            out[f.src as usize] += 1;
+        }
+        prop_assert!(out.iter().all(|&c| c == x));
+    }
+
+    #[test]
+    fn stencil_neighbors_symmetric_and_regular(
+        nx in 3usize..7,
+        ny in 3usize..7,
+        diag in any::<bool>(),
+    ) {
+        let kind = if diag { StencilKind::Nn2dDiag } else { StencilKind::Nn2d };
+        let app = StencilApp::new_2d(kind, nx, ny);
+        for r in 0..app.num_ranks() as u32 {
+            let nbrs = app.neighbors(r);
+            prop_assert_eq!(nbrs.len(), kind.neighbor_count());
+            for n in nbrs {
+                prop_assert!(app.neighbors(n).contains(&r));
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Integration test: path-table persistence across the full pipeline —
+//! compute on one "session", save, reload, and drive both simulators
+//! from the reloaded table with identical results.
+
+use jellyfish::prelude::*;
+use jellyfish::routing::{read_table, write_table};
+use jellyfish::JellyfishNetwork;
+use jellyfish_routing::PairSet;
+use jellyfish_traffic::stencil_trace;
+
+#[test]
+fn reloaded_table_drives_identical_simulations() {
+    let net = JellyfishNetwork::build(RrgParams::new(12, 8, 5), 3).unwrap();
+    let table = net.paths(PathSelection::REdKsp(4), &PairSet::AllPairs, 7);
+
+    let mut buf = Vec::new();
+    write_table(&table, &mut buf).unwrap();
+    let reloaded = read_table(buf.as_slice()).unwrap();
+
+    // Flit-level simulation: identical run from either table.
+    let pattern = PacketDestinations::Uniform { num_hosts: net.params().num_hosts() };
+    let a = net.simulate(&table, None, Mechanism::KspAdaptive, &pattern, 0.2, SimConfig::paper());
+    let b =
+        net.simulate(&reloaded, None, Mechanism::KspAdaptive, &pattern, 0.2, SimConfig::paper());
+    assert_eq!(a, b);
+
+    // Trace simulation too.
+    let app = StencilApp::new_2d(StencilKind::Nn2d, 4, 9);
+    let trace = stencil_trace(&app, Mapping::Linear, 60_000, net.params().num_hosts());
+    let ra = net.simulate_trace(&table, AppMechanism::Random, &trace, AppSimConfig::paper());
+    let rb = net.simulate_trace(&reloaded, AppMechanism::Random, &trace, AppSimConfig::paper());
+    assert_eq!(ra, rb);
+}
+
+#[test]
+fn serialized_form_is_stable_for_identical_tables() {
+    let net = JellyfishNetwork::build(RrgParams::new(10, 6, 4), 5).unwrap();
+    let t1 = net.paths(PathSelection::RKsp(3), &PairSet::Pairs(vec![(0, 4), (4, 0)]), 11);
+    let t2 = net.paths(PathSelection::RKsp(3), &PairSet::Pairs(vec![(0, 4), (4, 0)]), 11);
+    let mut b1 = Vec::new();
+    let mut b2 = Vec::new();
+    write_table(&t1, &mut b1).unwrap();
+    write_table(&t2, &mut b2).unwrap();
+    assert_eq!(b1, b2, "same seed must serialize identically");
+}

@@ -1,0 +1,117 @@
+//! Integration: the extended workload surface (classic synthetic
+//! patterns, MPI collectives, fat-tree baseline) driven through the same
+//! pipelines as the paper's workloads.
+
+use jellyfish::prelude::*;
+use jellyfish::JellyfishNetwork;
+use jellyfish_appsim::simulate_phases;
+use jellyfish_routing::PairSet;
+use jellyfish_topology::fattree::{build_fat_tree, FatTreeParams};
+use jellyfish_traffic::{Collective, SyntheticPattern};
+
+#[test]
+fn synthetic_patterns_run_through_the_model() {
+    let net = JellyfishNetwork::build(RrgParams::new(16, 8, 4), 9).unwrap();
+    let hosts = net.params().num_hosts(); // 64 = power of two and square
+    for pattern in [
+        SyntheticPattern::BitComplement,
+        SyntheticPattern::Transpose,
+        SyntheticPattern::BitReverse,
+        SyntheticPattern::Tornado,
+        SyntheticPattern::Neighbor,
+    ] {
+        assert!(pattern.supports(hosts), "{}", pattern.name());
+        let flows = pattern.flows(hosts);
+        let pairs = PairSet::Pairs(switch_pairs(&flows, net.params()));
+        let table = net.paths(PathSelection::REdKsp(4), &pairs, 2);
+        let r = net.model_throughput(&table, &flows);
+        assert!(
+            r.mean > 0.0 && r.mean <= 1.0 + 1e-9,
+            "{}: mean {}",
+            pattern.name(),
+            r.mean
+        );
+    }
+}
+
+#[test]
+fn tornado_saturates_below_uniform_on_single_path() {
+    // Tornado concentrates traffic; with single-path routing it must not
+    // outperform uniform random on the same fabric.
+    let net = JellyfishNetwork::build(RrgParams::new(12, 6, 4), 4).unwrap();
+    let hosts = net.params().num_hosts();
+    let table = net.paths(PathSelection::SinglePath, &PairSet::AllPairs, 0);
+    let uniform = PacketDestinations::Uniform { num_hosts: hosts };
+    let tornado =
+        PacketDestinations::from_flows(hosts, &SyntheticPattern::Tornado.flows(hosts));
+    let sat_u = net.saturation_throughput(
+        &table,
+        None,
+        Mechanism::SinglePath,
+        &uniform,
+        0.05,
+        SimConfig::paper(),
+    );
+    let sat_t = net.saturation_throughput(
+        &table,
+        None,
+        Mechanism::SinglePath,
+        &tornado,
+        0.05,
+        SimConfig::paper(),
+    );
+    assert!(
+        sat_t <= sat_u + 0.05,
+        "tornado {sat_t} should not beat uniform {sat_u} under SP"
+    );
+}
+
+#[test]
+fn collectives_complete_on_jellyfish() {
+    let net = JellyfishNetwork::build(RrgParams::new(16, 8, 6), 5).unwrap();
+    let hosts = net.params().num_hosts(); // 32
+    for op in [
+        Collective::RingAllReduce,
+        Collective::RecursiveDoublingAllReduce,
+        Collective::RingAllGather,
+    ] {
+        let phases = op.phases(hosts, 150_000, Mapping::Linear, hosts);
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for t in &phases {
+            pairs.extend(switch_pairs(&t.host_flows(), net.params()));
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let table = net.paths(PathSelection::REdKsp(4), &PairSet::Pairs(pairs), 1);
+        let r = simulate_phases(
+            net.graph(),
+            *net.params(),
+            &table,
+            AppMechanism::KspAdaptive,
+            &phases,
+            AppSimConfig::paper(),
+        );
+        assert_eq!(r.delivered_packets, r.total_packets, "{}", op.name());
+        assert!(r.completion_time_s > 0.0);
+    }
+}
+
+#[test]
+fn ksp_machinery_works_on_fat_trees() {
+    // The routing stack is topology-agnostic: rEDKSP on a fat-tree gives
+    // exactly k/2 disjoint paths between edge switches in different pods
+    // (all must climb through distinct aggregation switches).
+    let ft = FatTreeParams::new(4);
+    let g = build_fat_tree(ft).unwrap();
+    let table = PathTable::compute(
+        &g,
+        PathSelection::REdKsp(8),
+        &PairSet::Pairs(vec![(0, 2), (2, 0)]),
+        3,
+    );
+    let ps = table.get(0, 2).unwrap();
+    assert_eq!(ps.len(), 2, "k/2 = 2 uplinks bound the disjoint paths");
+    for p in ps.iter() {
+        assert_eq!(p.len(), 5, "cross-pod edge-to-edge is 4 hops");
+    }
+}
