@@ -11,12 +11,20 @@
 //! jellytool table --switches N --ports X --net-ports Y --selection NAME
 //!                 --out FILE [--seed S] [--k K]
 //!     compute an all-pairs path table and save it (text format)
+//!
+//! jellytool faults --switches N --ports X --net-ports Y [--seed S]
+//!                  [--fault-seed F] [--k K] [--mech NAME] [--rates CSV]
+//!                  [--pattern perm|uniform] [--paper true] [--out FILE]
+//!     sweep link-failure rates (default 0-5%) across KSP/rKSP/EDKSP/
+//!     rEDKSP and emit per-scheme saturation throughput as JSON
 //! ```
 
 use jellyfish::prelude::*;
 use jellyfish::routing::save_table;
 use jellyfish::topology::analysis::{distance_histogram, estimate_bisection, to_dot};
 use jellyfish::JellyfishNetwork;
+use jellyfish_bench::experiments::faults as faults_exp;
+use jellyfish_bench::Scale;
 use jellyfish_routing::PairSet;
 use std::collections::HashMap;
 
@@ -24,7 +32,8 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  jellytool topo  --switches N --ports X --net-ports Y [--seed S] [--dot FILE]\n  \
          jellytool paths --switches N --ports X --net-ports Y --src A --dst B [--seed S] [--k K]\n  \
-         jellytool table --switches N --ports X --net-ports Y --selection <sp|ksp|rksp|edksp|redksp> --out FILE [--seed S] [--k K]"
+         jellytool table --switches N --ports X --net-ports Y --selection <sp|ksp|rksp|edksp|redksp> --out FILE [--seed S] [--k K]\n  \
+         jellytool faults --switches N --ports X --net-ports Y [--seed S] [--fault-seed F] [--k K] [--mech <sp|random|rr|ugal|ksp-ugal|adaptive>] [--rates CSV] [--pattern perm|uniform] [--paper true] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -89,6 +98,7 @@ fn main() {
         "topo" => topo(&flags),
         "paths" => paths(&flags),
         "table" => table(&flags),
+        "faults" => faults(&flags),
         _ => usage(),
     }
 }
@@ -145,6 +155,60 @@ fn paths(flags: &HashMap<String, String>) {
             let nodes: Vec<String> = p.iter().map(u32::to_string).collect();
             println!("  [{hops} hops] {}", nodes.join(" -> "));
         }
+    }
+}
+
+fn faults(flags: &HashMap<String, String>) {
+    let params = RrgParams::new(
+        required(flags, "switches"),
+        required(flags, "ports"),
+        required(flags, "net-ports"),
+    );
+    let seed: u64 = num(flags, "seed").unwrap_or(1);
+    let fault_seed: u64 = num(flags, "fault-seed").unwrap_or(2021);
+    let k: usize = num(flags, "k").unwrap_or(8);
+    let mech = match flags.get("mech").map(String::as_str).unwrap_or("adaptive") {
+        "sp" => Mechanism::SinglePath,
+        "random" => Mechanism::Random,
+        "rr" => Mechanism::RoundRobin,
+        "ugal" => Mechanism::VanillaUgal,
+        "ksp-ugal" => Mechanism::KspUgal,
+        "adaptive" => Mechanism::KspAdaptive,
+        other => {
+            eprintln!("unknown mechanism {other:?}");
+            usage()
+        }
+    };
+    let rates: Vec<f64> = match flags.get("rates") {
+        None => faults_exp::default_rates(),
+        Some(csv) => csv
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("bad rate {s:?} in --rates");
+                    usage()
+                })
+            })
+            .collect(),
+    };
+    let traffic = match flags.get("pattern").map(String::as_str).unwrap_or("perm") {
+        "perm" => faults_exp::FaultTraffic::Permutation,
+        "uniform" => faults_exp::FaultTraffic::Uniform,
+        other => {
+            eprintln!("unknown pattern {other:?} (use perm|uniform)");
+            usage()
+        }
+    };
+    let scale = if flags.contains_key("paper") { Scale::Paper } else { Scale::Quick };
+    let fig = faults_exp::fault_sweep(params, k, mech, traffic, &rates, scale, seed, fault_seed);
+    faults_exp::print_fault_figure(&fig);
+    let json = faults_exp::to_json(&fig);
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write JSON file");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
     }
 }
 

@@ -14,6 +14,7 @@
 //!   ablation-k ablation-llskr ablation-construction
 //!   ablation-ugal-bias ablation-estimate ablation-flits
 //!   ablation-injection ablations
+//!   faults                           link-failure degradation sweep
 //!   all                              every table & figure above
 //!
 //! flags:
@@ -21,15 +22,16 @@
 //!   --seed N   base RNG seed (default 2021)
 //! ```
 
-use jellyfish_bench::experiments::{ablation, collective, latency, model, properties, saturation, stencil};
+use jellyfish_bench::experiments::{ablation, collective, faults, latency, model, properties, saturation, stencil};
 use jellyfish_bench::Scale;
+use jellyfish::prelude::{Mechanism, RrgParams};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table1|table2|table3|table4|properties|fig4..fig13|table5|table6|\
          collectives|ablation-k|ablation-llskr|ablation-construction|ablation-ugal-bias|\
-         ablation-estimate|ablation-flits|ablation-injection|ablations|all> [--paper] [--seed N]"
+         ablation-estimate|ablation-flits|ablation-injection|ablations|faults|all> [--paper] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -84,6 +86,20 @@ fn run(what: &str, scale: Scale, seed: u64) {
         "ablation-estimate" => ablation::ablation_estimate(scale, seed),
         "ablation-flits" => ablation::ablation_flits(scale, seed),
         "collectives" => collective::print_collectives(&collective::collectives(scale, seed)),
+        "faults" => {
+            let params = RrgParams::new(64, 11, 8);
+            let fig = faults::fault_sweep(
+                params,
+                8,
+                Mechanism::KspAdaptive,
+                faults::FaultTraffic::Permutation,
+                &faults::default_rates(),
+                scale,
+                seed,
+                seed ^ 0xFA,
+            );
+            faults::print_fault_figure(&fig);
+        }
         "ablations" => {
             ablation::ablation_k(scale, seed);
             println!();

@@ -127,6 +127,7 @@ pub fn ablation_ugal_bias(scale: Scale, seed: u64) {
             table: &table,
             sp_table: None,
             mechanism: Mechanism::KspUgal,
+            faults: None,
             sim,
         };
         let sat = jellyfish_flitsim::saturation_throughput(
@@ -168,6 +169,7 @@ pub fn ablation_estimate(scale: Scale, seed: u64) {
                 table: &table,
                 sp_table: None,
                 mechanism: mech,
+                faults: None,
                 sim,
             };
             let sat = jellyfish_flitsim::saturation_throughput(
@@ -232,6 +234,7 @@ pub fn ablation_flits(scale: Scale, seed: u64) {
             table: &table,
             sp_table: None,
             mechanism: Mechanism::KspAdaptive,
+            faults: None,
             sim,
         };
         let sat = jellyfish_flitsim::saturation_throughput(

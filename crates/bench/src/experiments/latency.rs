@@ -84,6 +84,7 @@ pub fn figure(which: u8, scale: Scale, seed: u64) -> LatencyFigure {
             table: &table,
             sp_table: None,
             mechanism,
+            faults: None,
             sim,
         };
         curves.insert(sel.name(), jellyfish_flitsim::latency_curve(&cfg, &dests, &rates));

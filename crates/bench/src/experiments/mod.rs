@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod collective;
+pub mod faults;
 pub mod latency;
 pub mod model;
 pub mod properties;

@@ -126,6 +126,7 @@ pub fn saturation_figure(
                 table: &tables[i][s],
                 sp_table: Some(&sp_table),
                 mechanism: mechs[m],
+                faults: None,
                 sim,
             };
             let sat =

@@ -146,6 +146,7 @@ impl JellyfishNetwork {
             table,
             sp_table,
             mechanism,
+            faults: None,
             sim,
         };
         jellyfish_flitsim::sweep::run_at(&cfg, pattern, rate)
@@ -169,6 +170,7 @@ impl JellyfishNetwork {
             table,
             sp_table,
             mechanism,
+            faults: None,
             sim,
         };
         jellyfish_flitsim::saturation_throughput(&cfg, pattern, resolution)
@@ -191,6 +193,7 @@ impl JellyfishNetwork {
             table,
             sp_table,
             mechanism,
+            faults: None,
             sim,
         };
         jellyfish_flitsim::latency_curve(&cfg, pattern, rates)

@@ -71,6 +71,15 @@ pub struct SimConfig {
     /// is 0 ("no bias towards MIN or VLB paths"); positive values favor
     /// minimal routing. Applies to vanilla UGAL and KSP-UGAL only.
     pub ugal_bias: i64,
+    /// How many cycles a packet stuck behind a failed link may retry
+    /// rerouting before it is dropped (fault injection only; irrelevant
+    /// without a fault plan).
+    pub fault_retry_budget: u32,
+    /// Whether the simulator recomputes paths for fault-affected pairs
+    /// (`true`, modelling a routing control plane that reconverges) or
+    /// only masks dead paths, leaving pairs with whatever survives
+    /// (`false`, measuring the path set's intrinsic fault tolerance).
+    pub fault_repair: bool,
     /// RNG seed for injection, destinations, and adaptive choices.
     pub seed: u64,
 }
@@ -91,6 +100,8 @@ impl SimConfig {
             injection: InjectionProcess::Bernoulli,
             estimate: EstimateForm::QueuePlusHopLatency,
             ugal_bias: 0,
+            fault_retry_budget: 8,
+            fault_repair: true,
             seed: 0,
         }
     }

@@ -35,5 +35,5 @@ pub mod sweep;
 pub use config::SimConfig;
 pub use mechanism::Mechanism;
 pub use sim::Simulator;
-pub use stats::RunResult;
-pub use sweep::{latency_curve, saturation_throughput, LoadPoint, SweepConfig};
+pub use stats::{read_result, write_result, ResultReadError, RunResult};
+pub use sweep::{latency_curve, run_at, saturation_throughput, LoadPoint, SweepConfig};

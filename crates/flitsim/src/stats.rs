@@ -1,6 +1,21 @@
-//! Measurement machinery: sample windows and run results.
+//! Measurement machinery: sample windows and run results, plus the
+//! line-oriented text persistence for [`RunResult`] (same idiom as the
+//! routing crate's path-table format):
+//!
+//! ```text
+//! jellyfish-run v1
+//! offered <f64>
+//! ...one `<field> <value>` line per scalar field...
+//! samples <f64> <f64> ...
+//! hops <u64> <u64> ...
+//! ```
+//!
+//! Floats are written with Rust's shortest round-tripping formatting;
+//! `NaN` is legal (an empty run has no mean latency).
 
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
 
 /// Outcome of one simulation run at a fixed offered load.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,6 +49,135 @@ pub struct RunResult {
     pub mean_link_utilization: f64,
     /// Utilization of the busiest directed link.
     pub max_link_utilization: f64,
+    /// Packets dropped over the whole run because of failed links or
+    /// switches (in-flight on a cut wire, stuck past the reroute retry
+    /// budget, or destined across a disconnected pair). Always 0 without
+    /// a fault plan.
+    pub dropped: u64,
+    /// Packets successfully rerouted around a failed link mid-route over
+    /// the whole run. Always 0 without a fault plan.
+    pub rerouted: u64,
+}
+
+/// Magic header line of the run-result text format.
+const HEADER: &str = "jellyfish-run v1";
+
+/// Serializes a [`RunResult`] into the v1 text format.
+pub fn write_result<W: Write>(r: &RunResult, mut out: W) -> io::Result<()> {
+    let mut buf = String::new();
+    writeln!(buf, "{HEADER}").unwrap();
+    writeln!(buf, "offered {}", r.offered).unwrap();
+    writeln!(buf, "accepted {}", r.accepted).unwrap();
+    writeln!(buf, "avg_latency {}", r.avg_latency).unwrap();
+    writeln!(buf, "saturated {}", u8::from(r.saturated)).unwrap();
+    writeln!(buf, "generated {}", r.generated).unwrap();
+    writeln!(buf, "ejected {}", r.ejected).unwrap();
+    writeln!(buf, "min_latency {}", r.min_latency).unwrap();
+    writeln!(buf, "max_latency {}", r.max_latency).unwrap();
+    writeln!(buf, "mean_link_utilization {}", r.mean_link_utilization).unwrap();
+    writeln!(buf, "max_link_utilization {}", r.max_link_utilization).unwrap();
+    writeln!(buf, "dropped {}", r.dropped).unwrap();
+    writeln!(buf, "rerouted {}", r.rerouted).unwrap();
+    buf.push_str("samples");
+    for s in &r.sample_latencies {
+        write!(buf, " {s}").unwrap();
+    }
+    buf.push('\n');
+    buf.push_str("hops");
+    for h in &r.hop_histogram {
+        write!(buf, " {h}").unwrap();
+    }
+    buf.push('\n');
+    out.write_all(buf.as_bytes())
+}
+
+/// Errors from [`read_result`].
+#[derive(Debug)]
+pub enum ResultReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the file.
+    Parse(String),
+}
+
+impl std::fmt::Display for ResultReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResultReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ResultReadError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ResultReadError {}
+
+impl From<io::Error> for ResultReadError {
+    fn from(e: io::Error) -> Self {
+        ResultReadError::Io(e)
+    }
+}
+
+/// Parses a v1 text file back into a [`RunResult`].
+pub fn read_result<R: BufRead>(input: R) -> Result<RunResult, ResultReadError> {
+    let bad = |m: String| ResultReadError::Parse(m);
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| bad("missing header".into()))??;
+    if header.trim() != HEADER {
+        return Err(bad(format!("bad header {header:?}")));
+    }
+    let mut scalars: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut samples: Option<Vec<f64>> = None;
+    let mut hops: Option<Vec<u64>> = None;
+    for line in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match key {
+            "samples" => {
+                let v: Result<Vec<f64>, _> =
+                    rest.split_whitespace().map(str::parse).collect();
+                samples = Some(v.map_err(|e| bad(format!("bad sample: {e}")))?);
+            }
+            "hops" => {
+                let v: Result<Vec<u64>, _> =
+                    rest.split_whitespace().map(str::parse).collect();
+                hops = Some(v.map_err(|e| bad(format!("bad hop count: {e}")))?);
+            }
+            _ => {
+                scalars.insert(key.to_string(), rest.trim().to_string());
+            }
+        }
+    }
+    fn field<T: std::str::FromStr>(
+        scalars: &std::collections::HashMap<String, String>,
+        key: &str,
+    ) -> Result<T, ResultReadError> {
+        scalars
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ResultReadError::Parse(format!("missing or bad field {key:?}")))
+    }
+    Ok(RunResult {
+        offered: field(&scalars, "offered")?,
+        accepted: field(&scalars, "accepted")?,
+        avg_latency: field(&scalars, "avg_latency")?,
+        sample_latencies: samples.ok_or_else(|| bad("missing samples line".into()))?,
+        saturated: field::<u8>(&scalars, "saturated")? != 0,
+        generated: field(&scalars, "generated")?,
+        ejected: field(&scalars, "ejected")?,
+        min_latency: field(&scalars, "min_latency")?,
+        max_latency: field(&scalars, "max_latency")?,
+        hop_histogram: hops.ok_or_else(|| bad("missing hops line".into()))?,
+        mean_link_utilization: field(&scalars, "mean_link_utilization")?,
+        max_link_utilization: field(&scalars, "max_link_utilization")?,
+        dropped: field(&scalars, "dropped")?,
+        rerouted: field(&scalars, "rerouted")?,
+    })
 }
 
 /// Accumulates per-window latency/throughput samples.
@@ -113,5 +257,57 @@ mod tests {
         assert!(acc.window_means()[0].is_nan());
         assert!(acc.overall_mean().is_nan());
         assert_eq!(acc.total_ejected(), 0);
+    }
+
+    fn sample_result() -> RunResult {
+        RunResult {
+            offered: 0.25,
+            accepted: 0.2471,
+            avg_latency: 43.625,
+            sample_latencies: vec![41.0, f64::NAN, 46.25],
+            saturated: false,
+            generated: 12345,
+            ejected: 12001,
+            min_latency: 12,
+            max_latency: 419,
+            hop_histogram: vec![0, 100, 9000, 2901],
+            mean_link_utilization: 0.31,
+            max_link_utilization: 0.92,
+            dropped: 17,
+            rerouted: 44,
+        }
+    }
+
+    #[test]
+    fn result_text_round_trip() {
+        let r = sample_result();
+        let mut buf = Vec::new();
+        write_result(&r, &mut buf).unwrap();
+        let loaded = read_result(buf.as_slice()).unwrap();
+        // NaN != NaN, so compare fields around the NaN sample.
+        assert_eq!(loaded.offered, r.offered);
+        assert_eq!(loaded.accepted, r.accepted);
+        assert_eq!(loaded.avg_latency, r.avg_latency);
+        assert_eq!(loaded.sample_latencies.len(), 3);
+        assert_eq!(loaded.sample_latencies[0], 41.0);
+        assert!(loaded.sample_latencies[1].is_nan());
+        assert_eq!(loaded.sample_latencies[2], 46.25);
+        assert_eq!(loaded.saturated, r.saturated);
+        assert_eq!(loaded.generated, r.generated);
+        assert_eq!(loaded.ejected, r.ejected);
+        assert_eq!(loaded.min_latency, r.min_latency);
+        assert_eq!(loaded.max_latency, r.max_latency);
+        assert_eq!(loaded.hop_histogram, r.hop_histogram);
+        assert_eq!(loaded.mean_link_utilization, r.mean_link_utilization);
+        assert_eq!(loaded.max_link_utilization, r.max_link_utilization);
+        assert_eq!(loaded.dropped, r.dropped);
+        assert_eq!(loaded.rerouted, r.rerouted);
+    }
+
+    #[test]
+    fn result_read_rejects_garbage() {
+        assert!(read_result("bogus\n".as_bytes()).is_err());
+        let missing = "jellyfish-run v1\noffered 0.1\n";
+        assert!(read_result(missing.as_bytes()).is_err());
     }
 }

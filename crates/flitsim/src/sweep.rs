@@ -10,7 +10,7 @@ use crate::mechanism::Mechanism;
 use crate::sim::Simulator;
 use crate::stats::RunResult;
 use jellyfish_routing::PathTable;
-use jellyfish_topology::{Graph, RrgParams};
+use jellyfish_topology::{FaultPlan, Graph, RrgParams};
 use jellyfish_traffic::PacketDestinations;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -28,6 +28,8 @@ pub struct SweepConfig<'a> {
     pub sp_table: Option<&'a PathTable>,
     /// Routing mechanism.
     pub mechanism: Mechanism,
+    /// Optional link/switch fault schedule applied during every run.
+    pub faults: Option<&'a FaultPlan>,
     /// Simulator settings.
     pub sim: SimConfig,
 }
@@ -53,6 +55,9 @@ pub fn run_at(cfg: &SweepConfig<'_>, pattern: &PacketDestinations, rate: f64) ->
         rate,
         cfg.sim,
     );
+    if let Some(plan) = cfg.faults {
+        sim = sim.with_fault_plan(plan);
+    }
     sim.run()
 }
 
@@ -137,6 +142,7 @@ mod tests {
             table: &table,
             sp_table: None,
             mechanism: Mechanism::Random,
+            faults: None,
             sim: SimConfig::paper(),
         };
         let pattern = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
@@ -160,6 +166,7 @@ mod tests {
             table: &table,
             sp_table: None,
             mechanism: Mechanism::Random,
+            faults: None,
             sim: SimConfig::paper(),
         };
         let pattern = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
@@ -179,6 +186,7 @@ mod tests {
             table: &table,
             sp_table: None,
             mechanism: Mechanism::Random,
+            faults: None,
             sim: SimConfig::paper(),
         };
         let u = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
@@ -200,6 +208,7 @@ mod tests {
             table: &table,
             sp_table: None,
             mechanism: Mechanism::Random,
+            faults: None,
             sim: SimConfig::paper(),
         };
         let u = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
@@ -216,6 +225,7 @@ mod tests {
             table: &table,
             sp_table: None,
             mechanism: Mechanism::KspAdaptive,
+            faults: None,
             sim: SimConfig::paper(),
         };
         let pattern = PacketDestinations::Uniform { num_hosts: p.num_hosts() };

@@ -42,7 +42,7 @@ pub use llskr::{llskr_paths, LlskrConfig};
 pub use mask::Mask;
 pub use properties::{path_properties, PathProperties};
 pub use serialize::{load_table, read_table, save_table, write_table, ReadError};
-pub use table::{PairSet, Path, PathSelection, PathTable};
+pub use table::{FaultReport, PairSet, PairSurvival, Path, PathSelection, PathTable};
 pub use yen::k_shortest_paths;
 
 /// Derives a per-pair RNG seed from a table seed and the ordered pair, so

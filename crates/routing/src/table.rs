@@ -13,7 +13,7 @@ use crate::llskr::{llskr_paths, LlskrConfig};
 use crate::mask::Mask;
 use crate::pair_seed;
 use crate::yen::k_shortest_paths;
-use jellyfish_topology::{Graph, NodeId};
+use jellyfish_topology::{DegradedGraph, Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -388,6 +388,162 @@ impl PathTable {
     pub fn num_pairs(&self) -> usize {
         self.entries().count()
     }
+
+    /// Drops every stored path that crosses a failed link or switch of
+    /// `view`, returning per-pair surviving-path counts.
+    ///
+    /// The table's pair coverage is unchanged — a pair all of whose paths
+    /// died keeps an empty [`PathSet`] and shows up in the report's
+    /// `disconnected_pairs`. Call [`PathTable::repair`] afterwards to
+    /// recompute routes for the affected pairs on the degraded fabric.
+    pub fn apply_faults(&mut self, view: &DegradedGraph) -> FaultReport {
+        let mut report = FaultReport::default();
+        let n = self.n;
+        let mut mask_set = |key_s: NodeId, key_d: NodeId, ps: &mut PathSet| {
+            let before = ps.len();
+            if before == 0 {
+                return;
+            }
+            let live: Vec<Path> = ps
+                .iter()
+                .filter(|p| view.path_is_live(p))
+                .map(|p| p.to_vec())
+                .collect();
+            let after = live.len();
+            if after < before {
+                *ps = PathSet::from_paths(&live);
+                report.affected.push(PairSurvival {
+                    src: key_s,
+                    dst: key_d,
+                    paths_before: before,
+                    paths_after: after,
+                });
+                report.paths_removed += before - after;
+                if after == 0 {
+                    report.disconnected_pairs += 1;
+                }
+            }
+        };
+        match &mut self.storage {
+            Storage::Dense(v) => {
+                for (i, ps) in v.iter_mut().enumerate() {
+                    mask_set((i / n) as NodeId, (i % n) as NodeId, ps);
+                }
+            }
+            Storage::Sparse(m) => {
+                let mut keys: Vec<u64> = m.keys().copied().collect();
+                keys.sort_unstable();
+                for key in keys {
+                    let ps = m.get_mut(&key).unwrap();
+                    mask_set((key >> 32) as NodeId, key as u32, ps);
+                }
+            }
+        }
+        self.max_hops = match &self.storage {
+            Storage::Dense(v) => v.iter().map(PathSet::max_hops).max().unwrap_or(0),
+            Storage::Sparse(m) => m.values().map(PathSet::max_hops).max().unwrap_or(0),
+        };
+        report
+    }
+
+    /// Drops every path longer than `limit` hops and recomputes
+    /// `max_hops`.
+    ///
+    /// Used after [`PathTable::repair`]: a repaired route can be longer
+    /// than anything in the original table, and consumers that sized
+    /// per-hop resources from the original `max_hops` (e.g. the
+    /// simulator's hop-indexed virtual channels) cannot carry it.
+    pub fn retain_max_hops(&mut self, limit: usize) {
+        let mut trim = |ps: &mut PathSet| {
+            if ps.max_hops() > limit {
+                let keep: Vec<Path> = ps
+                    .iter()
+                    .filter(|p| p.len() - 1 <= limit)
+                    .map(|p| p.to_vec())
+                    .collect();
+                *ps = PathSet::from_paths(&keep);
+            }
+        };
+        match &mut self.storage {
+            Storage::Dense(v) => v.iter_mut().for_each(&mut trim),
+            Storage::Sparse(m) => m.values_mut().for_each(&mut trim),
+        }
+        self.max_hops = match &self.storage {
+            Storage::Dense(v) => v.iter().map(PathSet::max_hops).max().unwrap_or(0),
+            Storage::Sparse(m) => m.values().map(PathSet::max_hops).max().unwrap_or(0),
+        };
+    }
+
+    /// Recomputes this table's selection for `pairs` on the surviving
+    /// fabric of `view`, in parallel, and swaps the results in.
+    ///
+    /// Only the given pairs are touched (typically
+    /// [`FaultReport::affected_pairs`]); everything else keeps its
+    /// original routes, so repair cost scales with the damage rather than
+    /// with the fabric. Pairs that the degraded fabric no longer connects
+    /// end up with an empty path set. Returns the number of pairs that
+    /// have at least one live path after repair.
+    pub fn repair(&mut self, view: &DegradedGraph, pairs: &[(NodeId, NodeId)], seed: u64) -> usize {
+        let degraded = view.materialize();
+        let selection = self.selection;
+        let recomputed: Vec<((NodeId, NodeId), PathSet)> = pairs
+            .par_iter()
+            .map(|&(s, d)| {
+                ((s, d), PathSet::from_paths(&selection.paths_for_pair(&degraded, s, d, seed)))
+            })
+            .collect();
+        let mut reconnected = 0;
+        for ((s, d), ps) in recomputed {
+            if !ps.is_empty() {
+                reconnected += 1;
+            }
+            self.max_hops = self.max_hops.max(ps.max_hops());
+            match &mut self.storage {
+                Storage::Dense(v) => v[s as usize * self.n + d as usize] = ps,
+                Storage::Sparse(m) => {
+                    m.insert(pack(s, d), ps);
+                }
+            }
+        }
+        reconnected
+    }
+}
+
+/// Surviving-path count of one pair after [`PathTable::apply_faults`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairSurvival {
+    /// Source switch.
+    pub src: NodeId,
+    /// Destination switch.
+    pub dst: NodeId,
+    /// Paths the pair had before masking.
+    pub paths_before: usize,
+    /// Paths that survived.
+    pub paths_after: usize,
+}
+
+/// What [`PathTable::apply_faults`] removed.
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    /// Every pair that lost at least one path, sorted by `(src, dst)`.
+    pub affected: Vec<PairSurvival>,
+    /// Total paths dropped across all pairs.
+    pub paths_removed: usize,
+    /// Pairs left with zero paths.
+    pub disconnected_pairs: usize,
+}
+
+impl FaultReport {
+    /// The affected pairs, ready to hand to [`PathTable::repair`].
+    pub fn affected_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.affected.iter().map(|p| (p.src, p.dst)).collect()
+    }
+
+    /// Fewest surviving paths over all affected pairs (`None` if nothing
+    /// was affected).
+    pub fn min_surviving(&self) -> Option<usize> {
+        self.affected.iter().map(|p| p.paths_after).min()
+    }
 }
 
 #[cfg(test)]
@@ -557,5 +713,115 @@ mod tests {
         assert_eq!(PairSet::AllPairs.materialize(3).len(), 6);
         let p = PairSet::Pairs(vec![(1, 0), (0, 1), (1, 0), (2, 2)]);
         assert_eq!(p.materialize(3), vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn apply_faults_masks_only_dead_paths() {
+        use jellyfish_topology::{DegradedGraph, FaultPlan};
+        let g = small_graph();
+        let mut t = PathTable::compute(&g, PathSelection::Ksp(4), &PairSet::AllPairs, 0);
+        let pristine = t.clone();
+        let plan = FaultPlan::random_links(&g, 0.08, 0, 21);
+        let view = DegradedGraph::at_time(&g, &plan, 0);
+        let report = t.apply_faults(&view);
+        assert!(report.paths_removed > 0, "an 8% cut should hit some path");
+        assert_eq!(
+            report.paths_removed,
+            report
+                .affected
+                .iter()
+                .map(|p| p.paths_before - p.paths_after)
+                .sum::<usize>()
+        );
+        // Survivors are live, untouched pairs keep their exact paths.
+        let affected: std::collections::HashSet<(NodeId, NodeId)> =
+            report.affected_pairs().into_iter().collect();
+        for (s, d, ps) in t.entries() {
+            for p in ps.iter() {
+                assert!(view.path_is_live(p), "{s}->{d} kept a dead path");
+            }
+            if !affected.contains(&(s, d)) {
+                assert_eq!(Some(ps), pristine.get(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_faults_on_live_view_is_a_no_op() {
+        let g = small_graph();
+        let mut t = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 5);
+        let view = jellyfish_topology::DegradedGraph::new(&g);
+        let report = t.apply_faults(&view);
+        assert!(report.affected.is_empty());
+        assert_eq!(report.paths_removed, 0);
+        assert_eq!(report.min_surviving(), None);
+    }
+
+    #[test]
+    fn repair_restores_affected_pairs_on_surviving_fabric() {
+        use jellyfish_topology::{DegradedGraph, FaultPlan};
+        let g = small_graph();
+        let mut t = PathTable::compute(&g, PathSelection::Ksp(4), &PairSet::AllPairs, 0);
+        let plan = FaultPlan::random_links(&g, 0.1, 0, 33);
+        let view = DegradedGraph::at_time(&g, &plan, 0);
+        let report = t.apply_faults(&view);
+        assert!(!report.affected.is_empty());
+        let reconnected = t.repair(&view, &report.affected_pairs(), 0);
+        // A 10% cut of a degree-5 RRG overwhelmingly stays connected, so
+        // every affected pair should come back at full strength.
+        assert_eq!(reconnected, report.affected.len());
+        for p in &report.affected {
+            let ps = t.get(p.src, p.dst).unwrap();
+            assert_eq!(ps.len(), 4, "{}->{} not repaired", p.src, p.dst);
+            for path in ps.iter() {
+                assert!(view.path_is_live(path), "repair produced a dead path");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_faults_and_repair_work_on_sparse_tables() {
+        use jellyfish_topology::{DegradedGraph, FaultPlan};
+        let g = small_graph();
+        let pairs = PairSet::Pairs(vec![(0, 9), (9, 0), (3, 12), (7, 2)]);
+        let mut t = PathTable::compute(&g, PathSelection::EdKsp(3), &pairs, 0);
+        let plan = FaultPlan::random_links(&g, 0.2, 0, 4);
+        let view = DegradedGraph::at_time(&g, &plan, 0);
+        let report = t.apply_faults(&view);
+        let windows_sorted = report
+            .affected
+            .windows(2)
+            .all(|w| (w[0].src, w[0].dst) < (w[1].src, w[1].dst));
+        assert!(windows_sorted, "report must be sorted for determinism");
+        t.repair(&view, &report.affected_pairs(), 0);
+        assert_eq!(t.num_pairs(), 4, "repair must not change pair coverage");
+        for (_, _, ps) in t.entries() {
+            for path in ps.iter() {
+                assert!(view.path_is_live(path));
+            }
+        }
+    }
+
+    #[test]
+    fn switch_failure_disconnects_pairs_through_it() {
+        use jellyfish_topology::{DegradedGraph, FaultPlan};
+        let g = small_graph();
+        let mut t = PathTable::compute(&g, PathSelection::SinglePath, &PairSet::AllPairs, 0);
+        let mut plan = FaultPlan::new();
+        plan.add_switch_failure(0, 5);
+        let view = DegradedGraph::at_time(&g, &plan, 0);
+        let report = t.apply_faults(&view);
+        // Every pair touching the dead switch lost its only path.
+        for d in 0..16u32 {
+            if d != 5 {
+                assert!(t.get(5, d).unwrap().is_empty());
+                assert!(t.get(d, 5).unwrap().is_empty());
+            }
+        }
+        assert!(report.disconnected_pairs >= 2 * 15);
+        // Repair cannot resurrect pairs whose endpoint is gone.
+        let reconnected = t.repair(&view, &report.affected_pairs(), 0);
+        assert!(t.get(5, 1).unwrap().is_empty());
+        assert!(reconnected < report.affected.len());
     }
 }

@@ -21,19 +21,23 @@
 //!   construction using either the Jellyfish incremental procedure or the
 //!   configuration (pairing) model;
 //! * [`metrics`] — topology metrics reported in the paper (average shortest
-//!   path length, diameter, degree checks).
+//!   path length, diameter, degree checks);
+//! * [`fault`] — seeded link/switch failure plans ([`FaultPlan`]) and the
+//!   degraded view of a graph under failures ([`DegradedGraph`]).
 //!
 //! All randomized procedures take explicit seeds so every experiment in the
 //! reproduction is deterministic.
 
 pub mod analysis;
 pub mod fattree;
+pub mod fault;
 pub mod graph;
 pub mod metrics;
 pub mod rrg;
 
 pub use analysis::{distance_histogram, estimate_bisection, to_dot, BisectionEstimate, DistanceHistogram};
 pub use fattree::{build_fat_tree, FatTreeParams};
+pub use fault::{read_plan, write_plan, DegradedGraph, FaultEvent, FaultKind, FaultPlan};
 pub use graph::{Graph, GraphBuilder, LinkId, NodeId};
 pub use metrics::{average_shortest_path_length, diameter, TopologyStats};
 pub use rrg::{build_rrg, ConstructionMethod, RrgError, RrgParams};

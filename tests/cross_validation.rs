@@ -135,3 +135,36 @@ fn ugal_variants_fall_back_to_min_paths_at_low_load() {
         );
     }
 }
+
+#[test]
+fn scheme_ranking_survives_a_fixed_two_percent_link_failure_plan() {
+    // The paper's saturation ordering (rEDKSP >= EDKSP >= KSP) is about
+    // usable path diversity, and failed links eat exactly that. Under a
+    // fixed seeded 2% link-failure plan (same broken links for every
+    // scheme), the ordering must survive degraded-mode routing.
+    let net = network();
+    let plan = jellyfish_topology::FaultPlan::random_links(net.graph(), 0.02, 0, 2021);
+    assert!(!plan.is_empty(), "2% of this fabric is at least one link");
+    let pattern = PacketDestinations::Uniform { num_hosts: net.params().num_hosts() };
+    let schemes = [PathSelection::Ksp(8), PathSelection::EdKsp(8), PathSelection::REdKsp(8)];
+    let sats: Vec<f64> = schemes
+        .iter()
+        .map(|&sel| {
+            let table = net.paths(sel, &PairSet::AllPairs, 7);
+            let cfg = jellyfish_flitsim::SweepConfig {
+                graph: net.graph(),
+                params: *net.params(),
+                table: &table,
+                sp_table: None,
+                mechanism: Mechanism::Random,
+                faults: Some(&plan),
+                sim: SimConfig::paper(),
+            };
+            jellyfish_flitsim::saturation_throughput(&cfg, &pattern, 0.02)
+        })
+        .collect();
+    let (ksp, edksp, redksp) = (sats[0], sats[1], sats[2]);
+    assert!(redksp > 0.0 && edksp > 0.0 && ksp > 0.0, "{sats:?}");
+    assert!(redksp >= edksp, "rEDKSP {redksp} < EDKSP {edksp} under faults");
+    assert!(edksp >= ksp, "EDKSP {edksp} < KSP {ksp} under faults");
+}

@@ -181,3 +181,97 @@ proptest! {
         }
     }
 }
+
+/// Fault-model invariants (256 cases each): the degraded-routing
+/// machinery must never hand out a dead path, and edge-disjoint
+/// selections must degrade by at most one path per failed link.
+mod fault_invariants {
+    use super::*;
+    use jellyfish_topology::{DegradedGraph, FaultKind};
+    use rand::seq::IndexedRandom;
+    use rand::Rng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn single_link_failure_costs_edge_disjoint_pairs_at_most_one_path(
+            (params, seed) in rrg_params(),
+            k in 2usize..6,
+            randomized in any::<bool>(),
+            pick in any::<u64>(),
+        ) {
+            let g = build_rrg(params, ConstructionMethod::Incremental, seed).unwrap();
+            let sel = if randomized {
+                PathSelection::REdKsp(k)
+            } else {
+                PathSelection::EdKsp(k)
+            };
+            let mut rng = StdRng::seed_from_u64(pick);
+            let n = params.switches as u32;
+            let src = rng.random_range(0..n);
+            let dst = (src + 1 + rng.random_range(0..n - 1)) % n;
+            let mut table =
+                PathTable::compute(&g, sel, &PairSet::Pairs(vec![(src, dst)]), seed);
+            let before = table.get(src, dst).map_or(0, |ps| ps.len());
+            // Fail one random live link.
+            let edges: Vec<(u32, u32)> = g.edges().collect();
+            let &(u, v) = edges.choose(&mut rng).unwrap();
+            let mut view = DegradedGraph::new(&g);
+            view.apply(FaultKind::Link { u, v });
+            table.apply_faults(&view);
+            let after = table.get(src, dst).map_or(0, |ps| ps.len());
+            // Edge-disjoint paths share no links, so one failure removes
+            // at most one of them.
+            prop_assert!(
+                after + 1 >= before,
+                "{sel:?} {src}->{dst}: {before} -> {after} paths after one link failure"
+            );
+        }
+
+        #[test]
+        fn masked_and_repaired_tables_never_return_a_dead_path(
+            (params, seed) in rrg_params(),
+            k in 1usize..4,
+            fail_count in 1usize..5,
+            fault_seed in any::<u64>(),
+        ) {
+            let g = build_rrg(params, ConstructionMethod::Incremental, seed).unwrap();
+            let mut table =
+                PathTable::compute(&g, PathSelection::RKsp(k), &PairSet::AllPairs, seed);
+            let mut rng = StdRng::seed_from_u64(fault_seed);
+            let edges: Vec<(u32, u32)> = g.edges().collect();
+            let mut view = DegradedGraph::new(&g);
+            for _ in 0..fail_count.min(edges.len()) {
+                let &(u, v) = edges.choose(&mut rng).unwrap();
+                view.apply(FaultKind::Link { u, v });
+            }
+            let report = table.apply_faults(&view);
+            // Masked table: every remaining path is fully live.
+            for s in 0..params.switches as u32 {
+                for d in 0..params.switches as u32 {
+                    let Some(ps) = table.get(s, d) else { continue };
+                    for i in 0..ps.len() {
+                        prop_assert!(
+                            view.path_is_live(ps.path(i)),
+                            "masked table returned dead path {s}->{d}"
+                        );
+                    }
+                }
+            }
+            // Repaired table too.
+            table.repair(&view, &report.affected_pairs(), fault_seed ^ 1);
+            for s in 0..params.switches as u32 {
+                for d in 0..params.switches as u32 {
+                    let Some(ps) = table.get(s, d) else { continue };
+                    for i in 0..ps.len() {
+                        prop_assert!(
+                            view.path_is_live(ps.path(i)),
+                            "repaired table returned dead path {s}->{d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

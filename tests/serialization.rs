@@ -6,6 +6,7 @@ use jellyfish::prelude::*;
 use jellyfish::routing::{read_table, write_table};
 use jellyfish::JellyfishNetwork;
 use jellyfish_routing::PairSet;
+use jellyfish_topology::FaultPlan;
 use jellyfish_traffic::stencil_trace;
 
 #[test]
@@ -30,6 +31,87 @@ fn reloaded_table_drives_identical_simulations() {
     let ra = net.simulate_trace(&table, AppMechanism::Random, &trace, AppSimConfig::paper());
     let rb = net.simulate_trace(&reloaded, AppMechanism::Random, &trace, AppSimConfig::paper());
     assert_eq!(ra, rb);
+}
+
+#[test]
+fn fault_plan_round_trips_and_matches_golden_fixture() {
+    // Hand-built plan covering both event kinds, out-of-order insertion
+    // (events are kept time-sorted) and link canonicalization (9,2 is
+    // stored as 2,9).
+    let mut plan = FaultPlan::new();
+    plan.seed = 42;
+    plan.add_link_failure(10, 0, 1);
+    plan.add_link_failure(0, 9, 2);
+    plan.add_switch_failure(5, 3);
+
+    let mut buf = Vec::new();
+    jellyfish_topology::write_plan(&plan, &mut buf).unwrap();
+    // Golden fixture: the v1 text format is a compatibility promise.
+    assert_eq!(
+        String::from_utf8(buf.clone()).unwrap(),
+        include_str!("fixtures/faultplan_v1.txt"),
+        "fault-plan v1 text format changed; bump the version header instead"
+    );
+    let reloaded = jellyfish_topology::read_plan(buf.as_slice()).unwrap();
+    assert_eq!(reloaded, plan);
+}
+
+#[test]
+fn random_fault_plan_round_trips_exactly() {
+    let net = JellyfishNetwork::build(RrgParams::new(20, 8, 5), 3).unwrap();
+    let plan = FaultPlan::random_links(net.graph(), 0.04, 17, 2021);
+    assert!(!plan.events().is_empty());
+    let mut buf = Vec::new();
+    jellyfish_topology::write_plan(&plan, &mut buf).unwrap();
+    assert_eq!(jellyfish_topology::read_plan(buf.as_slice()).unwrap(), plan);
+}
+
+#[test]
+fn run_result_golden_fixture_parses_and_rewrites_identically() {
+    // The fixture exercises the fault counters (dropped/rerouted) and a
+    // NaN sample window. Byte-identical rewrite proves stability without
+    // relying on NaN == NaN.
+    let text = include_str!("fixtures/runresult_v1.txt");
+    let result = jellyfish_flitsim::read_result(text.as_bytes()).unwrap();
+    assert_eq!(result.dropped, 17);
+    assert_eq!(result.rerouted, 5);
+    assert!(result.sample_latencies[2].is_nan());
+    let mut buf = Vec::new();
+    jellyfish_flitsim::write_result(&result, &mut buf).unwrap();
+    assert_eq!(String::from_utf8(buf).unwrap(), text);
+}
+
+#[test]
+fn fault_annotated_run_result_round_trips() {
+    // A real degraded run: links cut mid-measurement (cycle 1000, after
+    // the 500-cycle warmup) so in-flight packets hit dead wires and the
+    // result carries nonzero fault counters, then a full write/read
+    // round trip.
+    let net = JellyfishNetwork::build(RrgParams::new(12, 8, 5), 3).unwrap();
+    let table = net.paths(PathSelection::REdKsp(4), &PairSet::AllPairs, 7);
+    let plan = FaultPlan::random_links(net.graph(), 0.15, 1000, 11);
+    let cfg = jellyfish_flitsim::SweepConfig {
+        graph: net.graph(),
+        params: *net.params(),
+        table: &table,
+        sp_table: None,
+        mechanism: Mechanism::Random,
+        faults: Some(&plan),
+        sim: SimConfig::paper(),
+    };
+    let pattern = PacketDestinations::Uniform { num_hosts: net.params().num_hosts() };
+    let result = jellyfish_flitsim::run_at(&cfg, &pattern, 0.3);
+    assert!(result.dropped + result.rerouted > 0, "{result:?}");
+
+    let mut buf = Vec::new();
+    jellyfish_flitsim::write_result(&result, &mut buf).unwrap();
+    let reloaded = jellyfish_flitsim::read_result(buf.as_slice()).unwrap();
+    // Compare via re-serialization: sample windows may legally hold NaN.
+    let mut buf2 = Vec::new();
+    jellyfish_flitsim::write_result(&reloaded, &mut buf2).unwrap();
+    assert_eq!(buf, buf2);
+    assert_eq!(reloaded.dropped, result.dropped);
+    assert_eq!(reloaded.rerouted, result.rerouted);
 }
 
 #[test]

@@ -1,0 +1,341 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the parallel-iterator surface the workspace uses — `par_iter`,
+//! `into_par_iter`, `map`, `flat_map_iter`, `reduce`, `sum`, `collect` —
+//! executed on scoped OS threads (`std::thread::scope`) instead of a
+//! work-stealing pool. Inputs are materialized up front and split into
+//! order-preserving chunks, several per thread so heterogeneous tasks
+//! still balance reasonably; results concatenate in input order, keeping
+//! every existing "independent of scheduling order" guarantee intact.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Everything user code imports.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+/// Number of worker threads used for parallel evaluation.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item on scoped threads, preserving input order.
+fn par_apply<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let threads = current_num_threads();
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Several chunks per thread so one slow chunk cannot serialize the
+    // whole batch.
+    let chunk = len.div_ceil(threads * 4).max(1);
+    let mut chunks: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(len.div_ceil(chunk));
+        let mut iter = items.into_iter();
+        loop {
+            let batch: Vec<T> = iter.by_ref().take(chunk).collect();
+            if batch.is_empty() {
+                break;
+            }
+            handles.push(scope.spawn(move || batch.into_iter().map(f).collect::<Vec<R>>()));
+        }
+        for h in handles {
+            chunks.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+/// A parallel iterator: a lazily composed pipeline evaluated by [`run`].
+///
+/// [`run`]: ParallelIterator::run
+pub trait ParallelIterator: Sized + Send {
+    /// Item type produced by the pipeline.
+    type Item: Send;
+
+    /// Evaluates the pipeline in parallel, preserving input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Parallel map.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Parallel map producing a serial iterator per item, flattened.
+    fn flat_map_iter<R, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        R: IntoIterator,
+        R::Item: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Parallel filter.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, f }
+    }
+
+    /// Reduction with an identity constructor (rayon signature).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+
+    /// Sum of all items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        self.run().into_iter().sum()
+    }
+
+    /// Item count.
+    fn count(self) -> usize {
+        self.run().len()
+    }
+
+    /// Collects into a container.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_items(self.run())
+    }
+}
+
+/// Source stage: pre-materialized items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// `map` adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        par_apply(self.base.run(), self.f)
+    }
+}
+
+/// `flat_map_iter` adapter.
+pub struct FlatMapIter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for FlatMapIter<B, F>
+where
+    B: ParallelIterator,
+    R: IntoIterator,
+    R::Item: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R::Item;
+    fn run(self) -> Vec<R::Item> {
+        let f = self.f;
+        par_apply(self.base.run(), |x| f(x).into_iter().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// `filter` adapter.
+pub struct Filter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F> ParallelIterator for Filter<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(&B::Item) -> bool + Sync + Send,
+{
+    type Item = B::Item;
+    fn run(self) -> Vec<B::Item> {
+        let f = self.f;
+        par_apply(self.base.run(), |x| if f(&x) { Some(x) } else { None })
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Conversion of owned collections into parallel iterators.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// The source stage type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Starts the pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<$t>;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_source!(u16, u32, u64, usize, i32, i64);
+
+/// Conversion of borrowed collections into parallel iterators over `&T`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// The source stage type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Starts the pipeline over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// Containers collectable from a parallel pipeline.
+pub trait FromParallelIterator<T> {
+    /// Builds the container from the ordered item vector.
+    fn from_par_items(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_items(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<K: Eq + Hash, V> FromParallelIterator<(K, V)> for HashMap<K, V> {
+    fn from_par_items(items: Vec<(K, V)>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+impl<K: Ord, V> FromParallelIterator<(K, V)> for std::collections::BTreeMap<K, V> {
+    fn from_par_items(items: Vec<(K, V)>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10_000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let data: Vec<u32> = (0..500).collect();
+        let s: u32 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 500 * 499 / 2);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let v: Vec<u32> = (0u32..100).into_par_iter().flat_map_iter(|x| [x, x]).collect();
+        assert_eq!(v.len(), 200);
+        assert_eq!(&v[..4], &[0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let (sum, max) = (0u32..1000)
+            .into_par_iter()
+            .map(|x| (x as u64, x))
+            .reduce(|| (0u64, 0u32), |a, b| (a.0 + b.0, a.1.max(b.1)));
+        assert_eq!(sum, 1000 * 999 / 2);
+        assert_eq!(max, 999);
+    }
+
+    #[test]
+    fn collect_into_hashmap() {
+        let m: std::collections::HashMap<u32, u32> =
+            (0u32..100).into_par_iter().map(|x| (x, x * x)).collect();
+        assert_eq!(m.len(), 100);
+        assert_eq!(m[&7], 49);
+    }
+
+    #[test]
+    fn filter_drops_items() {
+        let v: Vec<u32> = (0u32..100).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(v.len(), 50);
+        assert!(v.iter().all(|x| x % 2 == 0));
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let v: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+        let w: Vec<u32> = vec![3u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(w, vec![4]);
+    }
+}

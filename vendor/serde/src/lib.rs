@@ -1,0 +1,58 @@
+//! Offline vendored `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as decoration but does
+//! all real persistence through hand-rolled text/JSON formats, so these
+//! are empty marker traits paired with no-op derive macros from the
+//! vendored `serde_derive`. If a future PR needs real serde data-model
+//! serialization, this facade is the place to grow it.
+
+// Let the derive-emitted `::serde::*` paths resolve inside this crate's
+// own tests.
+extern crate self as serde;
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        _a: u32,
+        _b: Vec<f64>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    pub(crate) enum WithVariants {
+        _A,
+        _B(u32),
+        _C { _x: f64 },
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Generic<T: Clone, const N: usize> {
+        _items: [T; N],
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Tuple(u8, u16);
+
+    fn assert_ser<T: Serialize>() {}
+    fn assert_de<T: for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_produce_marker_impls() {
+        assert_ser::<Plain>();
+        assert_de::<Plain>();
+        assert_ser::<WithVariants>();
+        assert_ser::<Generic<u8, 3>>();
+        assert_ser::<Tuple>();
+        assert_de::<Tuple>();
+    }
+}

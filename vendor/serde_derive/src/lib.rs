@@ -1,0 +1,153 @@
+//! Offline vendored no-op derive macros for `serde`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as
+//! decoration — all actual persistence is hand-rolled text/JSON (see
+//! `jellyfish-routing::serialize` and `jellyfish-topology::fault`). These
+//! derives therefore emit empty marker-trait impls, which keeps every
+//! type's derive list compiling without a crates.io dependency.
+//!
+//! Implemented without `syn`/`quote`: the input token stream is scanned
+//! for the item name and generic parameter list, which is enough for
+//! marker impls (empty traits need no field bounds).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed generic parameter.
+struct GenericParam {
+    /// Full declaration including bounds, e.g. `T: Clone` or `'a` or
+    /// `const N: usize` (defaults stripped).
+    decl: String,
+    /// Bare name used as the type argument, e.g. `T`, `'a`, `N`.
+    name: String,
+}
+
+struct Parsed {
+    name: String,
+    generics: Vec<GenericParam>,
+}
+
+fn token_to_string(t: &TokenTree) -> String {
+    t.to_string()
+}
+
+/// Extracts the item name and generics from a struct/enum/union
+/// definition token stream.
+fn parse_item(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let keyword = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // '#' + [group]
+            TokenTree::Ident(id)
+                if id.to_string() == "pub" =>
+            {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    break s;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    };
+    let _ = keyword;
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected item name, found {other}"),
+    };
+    i += 1;
+    // Optional generics `< ... >`.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut current: Vec<String> = Vec::new();
+            let mut params: Vec<Vec<String>> = Vec::new();
+            while depth > 0 {
+                match &tokens[i] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => {
+                        depth += 1;
+                        current.push("<".into());
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth > 0 {
+                            current.push(">".into());
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        params.push(std::mem::take(&mut current));
+                    }
+                    t => current.push(token_to_string(t)),
+                }
+                i += 1;
+            }
+            if !current.is_empty() {
+                params.push(current);
+            }
+            for param in params {
+                // Strip a trailing `= default`.
+                let cut = param.iter().position(|t| t == "=").unwrap_or(param.len());
+                let decl_tokens = &param[..cut];
+                let decl = decl_tokens.join(" ");
+                let name = if decl_tokens.first().map(String::as_str) == Some("const") {
+                    decl_tokens[1].clone()
+                } else {
+                    decl_tokens[0].clone()
+                };
+                generics.push(GenericParam { decl, name });
+            }
+        }
+    }
+    Parsed { name, generics }
+}
+
+fn marker_impl(input: TokenStream, lifetimed: bool, trait_path: &str) -> TokenStream {
+    let parsed = parse_item(input);
+    let mut impl_params: Vec<String> = Vec::new();
+    if lifetimed {
+        impl_params.push("'de".to_string());
+    }
+    impl_params.extend(parsed.generics.iter().map(|g| g.decl.clone()));
+    let args: Vec<String> = parsed.generics.iter().map(|g| g.name.clone()).collect();
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let trait_args = if lifetimed { "<'de>" } else { "" };
+    let type_args = if args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", args.join(", "))
+    };
+    format!(
+        "impl{impl_generics} {trait_path}{trait_args} for {}{type_args} {{}}",
+        parsed.name
+    )
+    .parse()
+    .expect("derive: generated impl must parse")
+}
+
+/// No-op `Serialize` derive: emits an empty marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, false, "::serde::Serialize")
+}
+
+/// No-op `Deserialize` derive: emits an empty marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, true, "::serde::Deserialize")
+}
