@@ -152,10 +152,7 @@ impl<'a> Sim<'a> {
     }
 
     fn path_of(&self, p: &Packet) -> &[NodeId] {
-        self.table
-            .get(p.src_sw, p.dst_sw)
-            .expect("pair in table")
-            .path(p.path_idx as usize)
+        self.table.get(p.src_sw, p.dst_sw).expect("pair in table").path(p.path_idx as usize)
     }
 
     /// Buffer the packet must enter next, given it is about to leave its
@@ -220,9 +217,8 @@ impl<'a> Sim<'a> {
                     let link = self.graph.link_id(path[0], path[1]).expect("edge");
                     // First-hop total occupancy across VCs × hop count.
                     let base = self.qid(link, 0);
-                    let q: u64 = (0..self.num_vcs)
-                        .map(|vc| self.queues[base + vc].len() as u64)
-                        .sum();
+                    let q: u64 =
+                        (0..self.num_vcs).map(|vc| self.queues[base + vc].len() as u64).sum();
                     q * (path.len() as u64 - 1)
                 };
                 if est(i) <= est(j) {
@@ -725,15 +721,21 @@ mod tests {
         let p = RrgParams::new(8, 6, 4);
         let g = build_rrg(p, ConstructionMethod::Incremental, 5).unwrap();
         let table = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
-        let phases =
-            Collective::RecursiveDoublingAllReduce.phases(16, 15_000, Mapping::Linear, 16);
-        let total =
-            simulate_phases(&g, p, &table, AppMechanism::KspAdaptive, &phases, AppSimConfig::paper());
+        let phases = Collective::RecursiveDoublingAllReduce.phases(16, 15_000, Mapping::Linear, 16);
+        let total = simulate_phases(
+            &g,
+            p,
+            &table,
+            AppMechanism::KspAdaptive,
+            &phases,
+            AppSimConfig::paper(),
+        );
         assert_eq!(total.delivered_packets, total.total_packets);
         // Phase barrier: the summed time must be at least the max of the
         // individual phases (trivially true) and at least the bandwidth
         // bound of one phase times the number of phases.
-        let one = simulate(&g, p, &table, AppMechanism::KspAdaptive, &phases[0], AppSimConfig::paper());
+        let one =
+            simulate(&g, p, &table, AppMechanism::KspAdaptive, &phases[0], AppSimConfig::paper());
         assert!(total.completion_time_s >= one.completion_time_s * phases.len() as f64 * 0.5);
     }
 

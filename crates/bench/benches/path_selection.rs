@@ -21,10 +21,9 @@ fn topo(params: RrgParams, seed: u64) -> Graph {
 fn bench_selections_per_pair(c: &mut Criterion) {
     let mut group = c.benchmark_group("per_pair_k8");
     group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    for (name, params) in [
-        ("RRG(36,24,16)", RrgParams::small()),
-        ("RRG(720,24,19)", RrgParams::medium()),
-    ] {
+    for (name, params) in
+        [("RRG(36,24,16)", RrgParams::small()), ("RRG(720,24,19)", RrgParams::medium())]
+    {
         let g = topo(params, 1);
         for sel in [
             PathSelection::Ksp(8),
@@ -32,22 +31,18 @@ fn bench_selections_per_pair(c: &mut Criterion) {
             PathSelection::EdKsp(8),
             PathSelection::REdKsp(8),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(sel.name(), name),
-                &g,
-                |b, g| {
-                    let mut pair = 0u32;
-                    b.iter(|| {
-                        // Rotate through pairs to avoid a cache-friendly
-                        // single pair dominating.
-                        pair = (pair + 1) % (g.num_nodes() as u32 - 1);
-                        let src = pair % g.num_nodes() as u32;
-                        let dst = (pair * 7 + 1) % g.num_nodes() as u32;
-                        let dst = if dst == src { (dst + 1) % g.num_nodes() as u32 } else { dst };
-                        black_box(sel.paths_for_pair(g, src, dst, 42))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(sel.name(), name), &g, |b, g| {
+                let mut pair = 0u32;
+                b.iter(|| {
+                    // Rotate through pairs to avoid a cache-friendly
+                    // single pair dominating.
+                    pair = (pair + 1) % (g.num_nodes() as u32 - 1);
+                    let src = pair % g.num_nodes() as u32;
+                    let dst = (pair * 7 + 1) % g.num_nodes() as u32;
+                    let dst = if dst == src { (dst + 1) % g.num_nodes() as u32 } else { dst };
+                    black_box(sel.paths_for_pair(g, src, dst, 42))
+                })
+            });
         }
     }
     group.finish();

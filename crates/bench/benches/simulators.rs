@@ -31,16 +31,8 @@ fn bench_flitsim_mechanisms(c: &mut Criterion) {
     for mech in [Mechanism::Random, Mechanism::VanillaUgal, Mechanism::KspAdaptive] {
         group.bench_with_input(BenchmarkId::from_parameter(mech.name()), &mech, |b, &mech| {
             b.iter(|| {
-                let mut sim = Simulator::new(
-                    &g,
-                    params,
-                    &table,
-                    Some(&sp),
-                    mech,
-                    pattern.clone(),
-                    0.3,
-                    cfg,
-                );
+                let mut sim =
+                    Simulator::new(&g, params, &table, Some(&sp), mech, pattern.clone(), 0.3, cfg);
                 black_box(sim.run())
             })
         });
@@ -61,9 +53,7 @@ fn bench_appsim(c: &mut Criterion) {
     group.sample_size(10);
     for mech in [AppMechanism::Random, AppMechanism::KspAdaptive] {
         group.bench_with_input(BenchmarkId::from_parameter(mech.name()), &mech, |b, &mech| {
-            b.iter(|| {
-                black_box(simulate(&g, params, &table, mech, &trace, AppSimConfig::paper()))
-            })
+            b.iter(|| black_box(simulate(&g, params, &table, mech, &trace, AppSimConfig::paper())))
         });
     }
     group.finish();

@@ -15,9 +15,24 @@
 //! jellytool faults --switches N --ports X --net-ports Y [--seed S]
 //!                  [--fault-seed F] [--k K] [--mech NAME] [--rates CSV]
 //!                  [--pattern perm|uniform] [--paper true] [--out FILE]
+//!                  [--metrics FILE]
 //!     sweep link-failure rates (default 0-5%) across KSP/rKSP/EDKSP/
 //!     rEDKSP and emit per-scheme saturation throughput as JSON
+//!
+//! jellytool stats --switches N --ports X --net-ports Y [--seed S] [--k K]
+//!                 [--selection NAME] [--mech NAME] [--rate R]
+//!                 [--pattern perm|uniform] [--paper true] [--stride C]
+//!                 [--out FILE] [--metrics FILE]
+//!     run one simulation and emit a JSON observability report: latency
+//!     percentiles (p50/p90/p99/p999) always; the per-link utilization
+//!     heatmap and occupancy/credit-stall time series when built with
+//!     `--features obs`
 //! ```
+//!
+//! Unknown flags are rejected (against a per-subcommand allowlist), as
+//! are duplicate flags and flag-like values: `--out --seed` is a missing
+//! value, not a file named `--seed`. `--metrics FILE` dumps the global
+//! registry (timing spans, run counters) as `jellyfish-metrics v1` text.
 
 use jellyfish::prelude::*;
 use jellyfish::routing::save_table;
@@ -25,28 +40,57 @@ use jellyfish::topology::analysis::{distance_histogram, estimate_bisection, to_d
 use jellyfish::JellyfishNetwork;
 use jellyfish_bench::experiments::faults as faults_exp;
 use jellyfish_bench::Scale;
-use jellyfish_routing::PairSet;
+use jellyfish_routing::{PairSet, PathTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  jellytool topo  --switches N --ports X --net-ports Y [--seed S] [--dot FILE]\n  \
          jellytool paths --switches N --ports X --net-ports Y --src A --dst B [--seed S] [--k K]\n  \
          jellytool table --switches N --ports X --net-ports Y --selection <sp|ksp|rksp|edksp|redksp> --out FILE [--seed S] [--k K]\n  \
-         jellytool faults --switches N --ports X --net-ports Y [--seed S] [--fault-seed F] [--k K] [--mech <sp|random|rr|ugal|ksp-ugal|adaptive>] [--rates CSV] [--pattern perm|uniform] [--paper true] [--out FILE]"
+         jellytool faults --switches N --ports X --net-ports Y [--seed S] [--fault-seed F] [--k K] [--mech <sp|random|rr|ugal|ksp-ugal|adaptive>] [--rates CSV] [--pattern perm|uniform] [--paper true] [--out FILE] [--metrics FILE]\n  \
+         jellytool stats --switches N --ports X --net-ports Y [--seed S] [--k K] [--selection NAME] [--mech NAME] [--rate R] [--pattern perm|uniform] [--paper true] [--stride C] [--out FILE] [--metrics FILE]"
     );
     std::process::exit(2);
 }
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+const COMMON_FLAGS: [&str; 4] = ["switches", "ports", "net-ports", "seed"];
+
+/// Parses `--name value` pairs, rejecting anything not in `allowed`,
+/// duplicates, and flag-like values (a following `--x` is a missing
+/// value, not a value).
+fn try_parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let Some(name) = flag.strip_prefix("--") else { usage() };
-        let Some(value) = it.next() else { usage() };
-        map.insert(name.to_string(), value.clone());
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got {flag:?}"));
+        };
+        if !allowed.contains(&name) {
+            return Err(format!("unknown flag --{name}"));
+        }
+        let Some(value) = it.next() else {
+            return Err(format!("--{name} needs a value"));
+        };
+        if value.starts_with("--") {
+            return Err(format!("--{name} needs a value, got flag {value:?}"));
+        }
+        if map.insert(name.to_string(), value.clone()).is_some() {
+            return Err(format!("duplicate flag --{name}"));
+        }
     }
-    map
+    Ok(map)
+}
+
+fn parse_flags(args: &[String], extra: &[&str]) -> HashMap<String, String> {
+    let allowed: Vec<&str> = COMMON_FLAGS.iter().chain(extra).copied().collect();
+    try_parse_flags(args, &allowed).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    })
 }
 
 fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str) -> Option<T> {
@@ -90,15 +134,48 @@ fn selection(name: &str, k: usize) -> PathSelection {
     }
 }
 
+fn mechanism(name: &str) -> Mechanism {
+    match name {
+        "sp" => Mechanism::SinglePath,
+        "random" => Mechanism::Random,
+        "rr" => Mechanism::RoundRobin,
+        "ugal" => Mechanism::VanillaUgal,
+        "ksp-ugal" => Mechanism::KspUgal,
+        "adaptive" => Mechanism::KspAdaptive,
+        other => {
+            eprintln!("unknown mechanism {other:?}");
+            usage()
+        }
+    }
+}
+
+/// Dumps the global metrics registry (and resets it) as
+/// `jellyfish-metrics v1` text if `--metrics FILE` was given.
+fn dump_metrics(flags: &HashMap<String, String>) {
+    if let Some(path) = flags.get("metrics") {
+        let registry = jellyfish_obs::take_global();
+        let mut buf = Vec::new();
+        jellyfish_obs::write_metrics(&registry, &mut buf).expect("serialize metrics");
+        std::fs::write(path, buf).expect("write metrics file");
+        eprintln!("wrote metrics to {path}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else { usage() };
-    let flags = parse_flags(rest);
     match cmd.as_str() {
-        "topo" => topo(&flags),
-        "paths" => paths(&flags),
-        "table" => table(&flags),
-        "faults" => faults(&flags),
+        "topo" => topo(&parse_flags(rest, &["dot"])),
+        "paths" => paths(&parse_flags(rest, &["src", "dst", "k"])),
+        "table" => table(&parse_flags(rest, &["selection", "out", "k"])),
+        "faults" => faults(&parse_flags(
+            rest,
+            &["fault-seed", "k", "mech", "rates", "pattern", "paper", "out", "metrics"],
+        )),
+        "stats" => stats(&parse_flags(
+            rest,
+            &["k", "selection", "mech", "rate", "pattern", "paper", "stride", "out", "metrics"],
+        )),
         _ => usage(),
     }
 }
@@ -120,10 +197,7 @@ fn topo(flags: &HashMap<String, String>) {
     );
     let hist = distance_histogram(net.graph());
     for (d, &c) in hist.counts.iter().enumerate().skip(1) {
-        println!(
-            "  {d}-hop pairs: {c} ({:.1}% cumulative)",
-            hist.cumulative_fraction(d) * 100.0
-        );
+        println!("  {d}-hop pairs: {c} ({:.1}% cumulative)", hist.cumulative_fraction(d) * 100.0);
     }
     let bis = estimate_bisection(net.graph(), 8, seed);
     println!(
@@ -167,18 +241,7 @@ fn faults(flags: &HashMap<String, String>) {
     let seed: u64 = num(flags, "seed").unwrap_or(1);
     let fault_seed: u64 = num(flags, "fault-seed").unwrap_or(2021);
     let k: usize = num(flags, "k").unwrap_or(8);
-    let mech = match flags.get("mech").map(String::as_str).unwrap_or("adaptive") {
-        "sp" => Mechanism::SinglePath,
-        "random" => Mechanism::Random,
-        "rr" => Mechanism::RoundRobin,
-        "ugal" => Mechanism::VanillaUgal,
-        "ksp-ugal" => Mechanism::KspUgal,
-        "adaptive" => Mechanism::KspAdaptive,
-        other => {
-            eprintln!("unknown mechanism {other:?}");
-            usage()
-        }
-    };
+    let mech = mechanism(flags.get("mech").map(String::as_str).unwrap_or("adaptive"));
     let rates: Vec<f64> = match flags.get("rates") {
         None => faults_exp::default_rates(),
         Some(csv) => csv
@@ -210,6 +273,7 @@ fn faults(flags: &HashMap<String, String>) {
         }
         None => print!("{json}"),
     }
+    dump_metrics(flags);
 }
 
 fn table(flags: &HashMap<String, String>) {
@@ -228,4 +292,179 @@ fn table(flags: &HashMap<String, String>) {
         table.max_hops(),
         t0.elapsed()
     );
+}
+
+/// One JSON number token (`null` for NaN/Inf — JSON has no such
+/// literals).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn stats(flags: &HashMap<String, String>) {
+    let (params, net, seed) = network(flags);
+    let k: usize = num(flags, "k").unwrap_or(8);
+    let sel = selection(flags.get("selection").map(String::as_str).unwrap_or("redksp"), k);
+    let mech = mechanism(flags.get("mech").map(String::as_str).unwrap_or("adaptive"));
+    let rate: f64 = num(flags, "rate").unwrap_or(0.3);
+    let scale = if flags.contains_key("paper") { Scale::Paper } else { Scale::Quick };
+    let stride: u32 = num(flags, "stride").unwrap_or(64);
+    #[cfg(not(feature = "obs"))]
+    if flags.contains_key("stride") {
+        eprintln!("note: --stride has no effect without --features obs");
+    }
+
+    // Traffic: one uniform or one seeded permutation instance; the
+    // table is pair-restricted for permutations, as in the figures.
+    let (pairs, pattern) = match flags.get("pattern").map(String::as_str).unwrap_or("uniform") {
+        "uniform" => {
+            (PairSet::AllPairs, PacketDestinations::Uniform { num_hosts: params.num_hosts() })
+        }
+        "perm" => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x22);
+            let flows = random_permutation(params.num_hosts(), &mut rng);
+            (
+                PairSet::Pairs(switch_pairs(&flows, &params)),
+                PacketDestinations::from_flows(params.num_hosts(), &flows),
+            )
+        }
+        other => {
+            eprintln!("unknown pattern {other:?} (use perm|uniform)");
+            usage()
+        }
+    };
+    let table = net.paths(sel, &pairs, seed);
+    let sp_table = if mech.needs_sp_table() {
+        Some(PathTable::all_pairs_shortest(net.graph(), true, seed ^ 0x11))
+    } else {
+        None
+    };
+
+    #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+    let mut sim = jellyfish_flitsim::Simulator::new(
+        net.graph(),
+        params,
+        &table,
+        sp_table.as_ref(),
+        mech,
+        pattern,
+        rate,
+        scale.sim_config(),
+    );
+    #[cfg(feature = "obs")]
+    {
+        sim = sim.with_observer(jellyfish_flitsim::ObserveConfig { stride });
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = stride;
+    let span = jellyfish_obs::span("jellytool.stats.run");
+    let result = sim.run();
+    span.finish();
+
+    let mut out = String::from("{\n");
+    writeln!(
+        out,
+        "  \"topology\": \"RRG({},{},{})\",",
+        params.switches, params.ports, params.network_ports
+    )
+    .unwrap();
+    writeln!(out, "  \"selection\": \"{}\",", sel.name()).unwrap();
+    writeln!(out, "  \"mechanism\": \"{}\",", mech.name()).unwrap();
+    writeln!(out, "  \"offered\": {},", json_num(result.offered)).unwrap();
+    writeln!(out, "  \"accepted\": {},", json_num(result.accepted)).unwrap();
+    writeln!(out, "  \"avg_latency\": {},", json_num(result.avg_latency)).unwrap();
+    writeln!(out, "  \"saturated\": {},", result.saturated).unwrap();
+    writeln!(out, "  \"measured_cycles\": {},", result.measured_cycles).unwrap();
+    writeln!(
+        out,
+        "  \"latency\": {{\"min\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
+         \"p999\": {}, \"max\": {}}},",
+        result.min_latency,
+        result.p50_latency,
+        result.p90_latency,
+        result.p99_latency,
+        result.p999_latency,
+        result.max_latency
+    )
+    .unwrap();
+    writeln!(out, "  \"mean_link_utilization\": {},", json_num(result.mean_link_utilization))
+        .unwrap();
+    #[cfg(feature = "obs")]
+    {
+        writeln!(out, "  \"max_link_utilization\": {},", json_num(result.max_link_utilization))
+            .unwrap();
+        let telemetry = sim.take_metrics().expect("observer was attached").to_json();
+        // Indent the nested object to keep the report readable.
+        let indented = telemetry.trim_end().replace('\n', "\n  ");
+        writeln!(out, "  \"telemetry\": {indented}").unwrap();
+    }
+    #[cfg(not(feature = "obs"))]
+    writeln!(out, "  \"max_link_utilization\": {}", json_num(result.max_link_utilization)).unwrap();
+    out.push_str("}\n");
+
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &out).expect("write JSON file");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{out}"),
+    }
+    dump_metrics(flags);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::try_parse_flags;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    const ALLOWED: [&str; 3] = ["switches", "seed", "out"];
+
+    #[test]
+    fn accepts_known_flags() {
+        let flags =
+            try_parse_flags(&args(&["--switches", "12", "--out", "x.json"]), &ALLOWED).unwrap();
+        assert_eq!(flags["switches"], "12");
+        assert_eq!(flags["out"], "x.json");
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = try_parse_flags(&args(&["--bogus", "1"]), &ALLOWED).unwrap_err();
+        assert!(err.contains("unknown flag --bogus"), "{err}");
+    }
+
+    #[test]
+    fn rejects_flag_as_value() {
+        // `--out --seed` must not silently consume `--seed` as the file
+        // name.
+        let err = try_parse_flags(&args(&["--out", "--seed"]), &ALLOWED).unwrap_err();
+        assert!(err.contains("--out needs a value"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        let err = try_parse_flags(&args(&["--seed"]), &ALLOWED).unwrap_err();
+        assert!(err.contains("--seed needs a value"), "{err}");
+        let err = try_parse_flags(&args(&["--seed", "1", "--seed", "2"]), &ALLOWED).unwrap_err();
+        assert!(err.contains("duplicate flag --seed"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bare_words() {
+        let err = try_parse_flags(&args(&["seed", "1"]), &ALLOWED).unwrap_err();
+        assert!(err.contains("expected a --flag"), "{err}");
+    }
+
+    #[test]
+    fn negative_like_values_are_fine() {
+        // A single leading dash is a value, not a flag.
+        let flags = try_parse_flags(&args(&["--out", "-"]), &ALLOWED).unwrap();
+        assert_eq!(flags["out"], "-");
+    }
 }

@@ -18,20 +18,25 @@
 //!   all                              every table & figure above
 //!
 //! flags:
-//!   --paper    full paper-scale instance counts and volumes
-//!   --seed N   base RNG seed (default 2021)
+//!   --paper         full paper-scale instance counts and volumes
+//!   --seed N        base RNG seed (default 2021)
+//!   --metrics FILE  dump timing spans and run counters collected during
+//!                   the experiment as jellyfish-metrics v1 text
 //! ```
 
-use jellyfish_bench::experiments::{ablation, collective, faults, latency, model, properties, saturation, stencil};
-use jellyfish_bench::Scale;
 use jellyfish::prelude::{Mechanism, RrgParams};
+use jellyfish_bench::experiments::{
+    ablation, collective, faults, latency, model, properties, saturation, stencil,
+};
+use jellyfish_bench::Scale;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table1|table2|table3|table4|properties|fig4..fig13|table5|table6|\
          collectives|ablation-k|ablation-llskr|ablation-construction|ablation-ugal-bias|\
-         ablation-estimate|ablation-flits|ablation-injection|ablations|faults|all> [--paper] [--seed N]"
+         ablation-estimate|ablation-flits|ablation-injection|ablations|faults|all> [--paper] \
+         [--seed N] [--metrics FILE]"
     );
     std::process::exit(2);
 }
@@ -41,14 +46,19 @@ fn main() {
     let Some(what) = args.next() else { usage() };
     let mut scale = Scale::Quick;
     let mut seed = 2021u64;
+    let mut metrics: Option<String> = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--paper" => scale = Scale::Paper,
             "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--metrics" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                if path.starts_with("--") {
+                    usage();
+                }
+                metrics = Some(path);
             }
             _ => usage(),
         }
@@ -57,6 +67,13 @@ fn main() {
     let t0 = Instant::now();
     run(&what, scale, seed);
     eprintln!("\n[{}] done in {:.1?}", what, t0.elapsed());
+    if let Some(path) = metrics {
+        let registry = jellyfish_obs::take_global();
+        let mut buf = Vec::new();
+        jellyfish_obs::write_metrics(&registry, &mut buf).expect("serialize metrics");
+        std::fs::write(&path, buf).expect("write metrics file");
+        eprintln!("wrote metrics to {path}");
+    }
 }
 
 fn run(what: &str, scale: Scale, seed: u64) {
@@ -119,8 +136,20 @@ fn run(what: &str, scale: Scale, seed: u64) {
         "table6" => stencil::print_stencil_table(&stencil::table(false, scale, seed), false),
         "all" => {
             for exp in [
-                "table1", "properties", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-                "fig10", "fig11", "fig12", "fig13", "table5", "table6",
+                "table1",
+                "properties",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "fig11",
+                "fig12",
+                "fig13",
+                "table5",
+                "table6",
             ] {
                 let t = Instant::now();
                 println!("=== {exp} ===");

@@ -95,8 +95,7 @@ pub fn ablation_construction(seed: u64) {
             ("incremental", ConstructionMethod::Incremental),
             ("pairing", ConstructionMethod::PairingModel),
         ] {
-            let net =
-                JellyfishNetwork::build_with(params, method, seed).expect("topology builds");
+            let net = JellyfishNetwork::build_with(params, method, seed).expect("topology builds");
             let s = net.stats();
             let b = estimate_bisection(net.graph(), 5, seed ^ 0x30);
             println!(
@@ -130,11 +129,8 @@ pub fn ablation_ugal_bias(scale: Scale, seed: u64) {
             faults: None,
             sim,
         };
-        let sat = jellyfish_flitsim::saturation_throughput(
-            &cfg,
-            &pattern,
-            scale.saturation_resolution(),
-        );
+        let sat =
+            jellyfish_flitsim::saturation_throughput(&cfg, &pattern, scale.saturation_resolution());
         println!("{bias:<10} {sat:>12.3}");
     }
     println!("\nExpected: large MIN bias degenerates KSP-UGAL toward single-path");
@@ -237,11 +233,8 @@ pub fn ablation_flits(scale: Scale, seed: u64) {
             faults: None,
             sim,
         };
-        let sat = jellyfish_flitsim::saturation_throughput(
-            &cfg,
-            &pattern,
-            scale.saturation_resolution(),
-        );
+        let sat =
+            jellyfish_flitsim::saturation_throughput(&cfg, &pattern, scale.saturation_resolution());
         println!("{flits:<8} {sat:>14.3} {:>20.3}", sat * flits as f64);
     }
     println!("\nExpected: packet saturation rate scales ~1/flits while the flit");

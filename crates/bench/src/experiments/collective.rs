@@ -42,7 +42,8 @@ pub fn collectives(scale: Scale, seed: u64) -> Vec<CollectiveRow> {
     ];
     let mut rows = Vec::new();
     for op in ops {
-        let phases = op.phases(ranks, message, Mapping::Random { seed: seed ^ 0x44 }, params.num_hosts());
+        let phases =
+            op.phases(ranks, message, Mapping::Random { seed: seed ^ 0x44 }, params.num_hosts());
         let mut pairs: Vec<(u32, u32)> = Vec::new();
         for t in &phases {
             pairs.extend(switch_pairs(&t.host_flows(), &params));
@@ -73,7 +74,10 @@ pub fn collectives(scale: Scale, seed: u64) -> Vec<CollectiveRow> {
 /// Prints the collective comparison.
 pub fn print_collectives(rows: &[CollectiveRow]) {
     println!("Collectives on RRG(64,12,10), 128 ranks, random mapping (seconds)");
-    println!("{:<18} {:>7} {:>12} {:>12} {:>9}", "collective", "phases", "KSP(8)", "rEDKSP(8)", "speedup");
+    println!(
+        "{:<18} {:>7} {:>12} {:>12} {:>9}",
+        "collective", "phases", "KSP(8)", "rEDKSP(8)", "speedup"
+    );
     for r in rows {
         let ksp = r.times["KSP(8)"];
         let red = r.times["rEDKSP(8)"];
@@ -100,12 +104,8 @@ mod tests {
         // Tiny version to keep test time bounded.
         let params = RrgParams::new(16, 8, 6);
         let net = JellyfishNetwork::build(params, 3).unwrap();
-        let phases = Collective::RingAllGather.phases(
-            16,
-            64_000,
-            Mapping::Linear,
-            params.num_hosts(),
-        );
+        let phases =
+            Collective::RingAllGather.phases(16, 64_000, Mapping::Linear, params.num_hosts());
         let mut pairs: Vec<(u32, u32)> = Vec::new();
         for t in &phases {
             pairs.extend(switch_pairs(&t.host_flows(), &params));

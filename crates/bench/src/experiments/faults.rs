@@ -53,10 +53,7 @@ impl FaultCurve {
     /// (1.0 when the fault-free run already saturates at zero).
     pub fn retained(&self) -> Vec<f64> {
         let base = self.saturation[0];
-        self.saturation
-            .iter()
-            .map(|&s| if base > 0.0 { s / base } else { 1.0 })
-            .collect()
+        self.saturation.iter().map(|&s| if base > 0.0 { s / base } else { 1.0 }).collect()
     }
 }
 
@@ -117,10 +114,9 @@ pub fn fault_sweep(
     // (pair-restricted for permutations, as in the saturation figures).
     let mut rng = StdRng::seed_from_u64(topo_seed ^ 0x22);
     let traffic_instances: Vec<(PairSet, PacketDestinations)> = match traffic {
-        FaultTraffic::Uniform => vec![(
-            PairSet::AllPairs,
-            PacketDestinations::Uniform { num_hosts: params.num_hosts() },
-        )],
+        FaultTraffic::Uniform => {
+            vec![(PairSet::AllPairs, PacketDestinations::Uniform { num_hosts: params.num_hosts() })]
+        }
         FaultTraffic::Permutation => (0..scale.sim_traffic_instances_for(&params))
             .map(|_| {
                 let flows = random_permutation(params.num_hosts(), &mut rng);
@@ -143,10 +139,8 @@ pub fn fault_sweep(
         })
         .collect();
     // One plan per rate, shared across schemes: identical broken links.
-    let plans: Vec<FaultPlan> = rates
-        .iter()
-        .map(|&r| FaultPlan::random_links(net.graph(), r, 0, fault_seed))
-        .collect();
+    let plans: Vec<FaultPlan> =
+        rates.iter().map(|&r| FaultPlan::random_links(net.graph(), r, 0, fault_seed)).collect();
     // Paper-grade rate granularity: degradation steps are small.
     let resolution: f64 = 0.01;
     // A degraded run is "saturated" if the classic criteria trip OR it
@@ -174,8 +168,7 @@ pub fn fault_sweep(
     let instances = traffic_instances.len();
     let tasks: Vec<(usize, usize, usize)> = (0..instances)
         .flat_map(|i| {
-            (0..selections.len())
-                .flat_map(move |s| (0..rates.len()).map(move |r| (i, s, r)))
+            (0..selections.len()).flat_map(move |s| (0..rates.len()).map(move |r| (i, s, r)))
         })
         .collect();
     let measured: Vec<((usize, usize), f64)> = tasks
@@ -208,10 +201,7 @@ pub fn fault_sweep(
         curves[s].saturation[r] += sat / instances as f64;
     }
     FaultFigure {
-        topology: format!(
-            "RRG({},{},{})",
-            params.switches, params.ports, params.network_ports
-        ),
+        topology: format!("RRG({},{},{})", params.switches, params.ports, params.network_ports),
         mechanism: mechanism.name(),
         topo_seed,
         fault_seed,

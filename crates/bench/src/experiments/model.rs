@@ -79,21 +79,13 @@ pub struct ModelFigure {
 }
 
 /// Runs the model experiment for one topology (Figure 4, 5 or 6).
-pub fn model_figure(
-    name: &'static str,
-    params: RrgParams,
-    scale: Scale,
-    seed: u64,
-) -> ModelFigure {
+pub fn model_figure(name: &'static str, params: RrgParams, scale: Scale, seed: u64) -> ModelFigure {
     let patterns = patterns_for(&params, scale);
     // The large fabric gets fewer instances at quick scale: path tables
     // dominate the cost and the variance across instances is small
     // (paper Section II: large instances behave alike).
-    let topo_instances = if params.switches > 100 && scale == Scale::Quick {
-        1
-    } else {
-        scale.topo_instances()
-    };
+    let topo_instances =
+        if params.switches > 100 && scale == Scale::Quick { 1 } else { scale.topo_instances() };
     let traffic_instances = scale.model_traffic_instances_for(&params);
 
     let mut sums: BTreeMap<String, BTreeMap<String, (f64, usize)>> = BTreeMap::new();
@@ -138,13 +130,7 @@ pub fn model_figure(
     let results = sums
         .into_iter()
         .map(|(pat, schemes)| {
-            (
-                pat,
-                schemes
-                    .into_iter()
-                    .map(|(s, (sum, n))| (s, sum / n as f64))
-                    .collect(),
-            )
+            (pat, schemes.into_iter().map(|(s, (sum, n))| (s, sum / n as f64)).collect())
         })
         .collect();
     ModelFigure { topology: name, results }

@@ -43,7 +43,10 @@ pub fn table1(seed: u64) -> Vec<Table1Row> {
 /// Prints Table I.
 pub fn print_table1(rows: &[Table1Row]) {
     println!("Table I: Jellyfish topologies (avg shortest path length)");
-    println!("{:<18} {:>8} {:>8} {:>10} {:>10}", "topology", "switches", "hosts", "avg spl", "paper");
+    println!(
+        "{:<18} {:>8} {:>8} {:>10} {:>10}",
+        "topology", "switches", "hosts", "avg spl", "paper"
+    );
     for r in rows {
         println!(
             "{:<18} {:>8} {:>8} {:>10.2} {:>10.2}",
@@ -92,16 +95,8 @@ pub struct PaperPropertyRefs {
 /// The paper's Tables II–IV numbers.
 pub fn paper_property_refs() -> PaperPropertyRefs {
     PaperPropertyRefs {
-        avg_len: [
-            [2.06, 2.06, 2.06, 2.06],
-            [3.02, 3.02, 3.16, 3.16],
-            [2.94, 2.94, 2.94, 2.94],
-        ],
-        disjoint_pct: [
-            [0.56, 0.59, 1.0, 1.0],
-            [0.02, 0.03, 1.0, 1.0],
-            [0.09, 0.22, 1.0, 1.0],
-        ],
+        avg_len: [[2.06, 2.06, 2.06, 2.06], [3.02, 3.02, 3.16, 3.16], [2.94, 2.94, 2.94, 2.94]],
+        disjoint_pct: [[0.56, 0.59, 1.0, 1.0], [0.02, 0.03, 1.0, 1.0], [0.09, 0.22, 1.0, 1.0]],
         max_share: [[6, 3, 1, 1], [7, 7, 1, 1], [7, 6, 1, 1]],
     }
 }
@@ -113,10 +108,7 @@ pub fn print_property_tables(cells: &[PropertyCell]) {
     let sel_names: Vec<String> = selections_k8().iter().map(|s| s.name()).collect();
 
     let cell = |t: &str, s: &str| {
-        cells
-            .iter()
-            .find(|c| c.topology == t && c.selection == s)
-            .expect("cell computed")
+        cells.iter().find(|c| c.topology == t && c.selection == s).expect("cell computed")
     };
 
     println!("Table II: average path length (k = 8)   [measured | paper]");
@@ -188,9 +180,7 @@ mod tests {
         assert!(by_sel["KSP(8)"].disjoint_pair_fraction < 0.9);
         assert!(by_sel["KSP(8)"].max_link_share >= 3);
         // Randomization doesn't lengthen paths (Table II).
-        assert!(
-            (by_sel["KSP(8)"].avg_path_len - by_sel["rKSP(8)"].avg_path_len).abs() < 1e-9
-        );
+        assert!((by_sel["KSP(8)"].avg_path_len - by_sel["rKSP(8)"].avg_path_len).abs() < 1e-9);
         // Average lengths near the paper's 2.06.
         for sel in ["KSP(8)", "rKSP(8)", "EDKSP(8)", "rEDKSP(8)"] {
             let len = by_sel[sel].avg_path_len;

@@ -99,10 +99,7 @@ pub fn saturation_figure(
         .iter()
         .enumerate()
         .map(|(i, (pairs, _))| {
-            selections
-                .iter()
-                .map(|&sel| net.paths(sel, pairs, seed ^ 0x33 ^ i as u64))
-                .collect()
+            selections.iter().map(|&sel| net.paths(sel, pairs, seed ^ 0x33 ^ i as u64)).collect()
         })
         .collect();
 
@@ -110,8 +107,7 @@ pub fn saturation_figure(
     let mechs = mechanisms();
     let tasks: Vec<(usize, usize, usize)> = (0..instances)
         .flat_map(|i| {
-            (0..selections.len())
-                .flat_map(move |s| (0..mechs.len()).map(move |m| (i, s, m)))
+            (0..selections.len()).flat_map(move |s| (0..mechs.len()).map(move |m| (i, s, m)))
         })
         .collect();
     let resolution = scale.saturation_resolution();
@@ -129,8 +125,7 @@ pub fn saturation_figure(
                 faults: None,
                 sim,
             };
-            let sat =
-                jellyfish_flitsim::saturation_throughput(&cfg, &traffic[i].1, resolution);
+            let sat = jellyfish_flitsim::saturation_throughput(&cfg, &traffic[i].1, resolution);
             ((s, m), sat)
         })
         .collect();
@@ -143,10 +138,7 @@ pub fn saturation_figure(
     }
     let mut results: BTreeMap<&'static str, BTreeMap<String, f64>> = BTreeMap::new();
     for ((s, m), (sum, n)) in sums {
-        results
-            .entry(mechs[m].name())
-            .or_default()
-            .insert(selections[s].name(), sum / n as f64);
+        results.entry(mechs[m].name()).or_default().insert(selections[s].name(), sum / n as f64);
     }
     SaturationFigure { topology, pattern: pattern.name(), results }
 }
@@ -190,8 +182,7 @@ mod tests {
         // least as good as oblivious random with KSP (the paper's
         // strongest-vs-weakest comparison).
         let params = RrgParams::new(12, 6, 4);
-        let fig =
-            saturation_figure("test", params, SimPattern::Permutation, Scale::Quick, 3);
+        let fig = saturation_figure("test", params, SimPattern::Permutation, Scale::Quick, 3);
         for mech in mechanisms() {
             for sel in selections_k8() {
                 let v = fig.results[mech.name()][&sel.name()];

@@ -65,9 +65,8 @@ pub fn stencil_table_on(
     // app × selection tasks in parallel; each computes its own sparse
     // path table over the trace's switch pairs.
     let selections = stencil_selections();
-    let tasks: Vec<(usize, usize)> = (0..apps.len())
-        .flat_map(|a| (0..selections.len()).map(move |s| (a, s)))
-        .collect();
+    let tasks: Vec<(usize, usize)> =
+        (0..apps.len()).flat_map(|a| (0..selections.len()).map(move |s| (a, s))).collect();
     let measured: Vec<((usize, usize), f64)> = tasks
         .par_iter()
         .map(|&(a, s)| {
@@ -82,10 +81,8 @@ pub fn stencil_table_on(
         })
         .collect();
 
-    let mut rows: Vec<StencilRow> = apps
-        .iter()
-        .map(|(k, _)| StencilRow { app: k.name(), times: BTreeMap::new() })
-        .collect();
+    let mut rows: Vec<StencilRow> =
+        apps.iter().map(|(k, _)| StencilRow { app: k.name(), times: BTreeMap::new() }).collect();
     for ((a, s), time) in measured {
         rows[a].times.insert(selections[s].name(), time);
     }
@@ -128,14 +125,23 @@ pub fn print_stencil_table(t: &StencilTable, linear: bool) {
         sum_rksp += imp_rksp;
         println!(
             "{:<10} {:>11.4} {:>11.4} {:>12.1}% {:>11.4} {:>12.1}%  ({p_ksp:.1}%, {p_rksp:.1}%)",
-            row.app, row.times["rEDKSP(8)"], row.times["KSP(8)"], imp_ksp,
-            row.times["rKSP(8)"], imp_rksp
+            row.app,
+            row.times["rEDKSP(8)"],
+            row.times["KSP(8)"],
+            imp_ksp,
+            row.times["rKSP(8)"],
+            imp_rksp
         );
     }
     let n = t.rows.len() as f64;
     println!(
         "{:<10} {:>11} {:>11} {:>12.1}% {:>11} {:>12.1}%",
-        "average", "", "", sum_ksp / n, "", sum_rksp / n
+        "average",
+        "",
+        "",
+        sum_ksp / n,
+        "",
+        sum_rksp / n
     );
 }
 
@@ -158,7 +164,7 @@ mod tests {
         assert_eq!(t.rows.len(), 4);
         for row in &t.rows {
             assert_eq!(row.times.len(), 3);
-            for (_, &v) in &row.times {
+            for &v in row.times.values() {
                 assert!(v > 0.0);
             }
             let imp = row.improvement_over("KSP(8)");

@@ -58,8 +58,8 @@ pub mod prelude {
     pub use jellyfish_routing::{LlskrConfig, PairSet, PathSelection, PathTable};
     pub use jellyfish_topology::{ConstructionMethod, RrgParams};
     pub use jellyfish_traffic::{
-        all_to_all, random_permutation, random_shift, random_x, shift, switch_pairs, Flow,
-        Mapping, PacketDestinations, StencilApp, StencilKind,
+        all_to_all, random_permutation, random_shift, random_x, shift, switch_pairs, Flow, Mapping,
+        PacketDestinations, StencilApp, StencilKind,
     };
 }
 
@@ -249,7 +249,8 @@ mod tests {
         assert!(report.mean > 0.0 && report.mean <= 1.0);
 
         let pattern = PacketDestinations::from_flows(net.params().num_hosts(), &flows);
-        let run = net.simulate(&table, None, Mechanism::KspAdaptive, &pattern, 0.1, SimConfig::paper());
+        let run =
+            net.simulate(&table, None, Mechanism::KspAdaptive, &pattern, 0.1, SimConfig::paper());
         assert!(!run.saturated);
     }
 
@@ -259,7 +260,8 @@ mod tests {
         let app = StencilApp::new_2d(StencilKind::Nn2d, 3, 6);
         let trace = stencil_trace(&app, Mapping::Linear, 30_000, net.params().num_hosts());
         let table = net.paths(PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
-        let r = net.simulate_trace(&table, AppMechanism::KspAdaptive, &trace, AppSimConfig::paper());
+        let r =
+            net.simulate_trace(&table, AppMechanism::KspAdaptive, &trace, AppSimConfig::paper());
         assert_eq!(r.delivered_packets, r.total_packets);
     }
 

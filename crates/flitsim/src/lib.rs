@@ -28,12 +28,16 @@
 
 pub mod config;
 pub mod mechanism;
+#[cfg(feature = "obs")]
+pub mod observe;
 pub mod sim;
 pub mod stats;
 pub mod sweep;
 
 pub use config::SimConfig;
 pub use mechanism::Mechanism;
+#[cfg(feature = "obs")]
+pub use observe::{ObserveConfig, SimMetrics};
 pub use sim::Simulator;
 pub use stats::{read_result, write_result, ResultReadError, RunResult};
 pub use sweep::{latency_curve, run_at, saturation_throughput, LoadPoint, SweepConfig};

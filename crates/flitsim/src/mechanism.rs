@@ -53,10 +53,7 @@ impl Mechanism {
     /// Whether the mechanism consults network state (adaptive) or not
     /// (oblivious).
     pub fn is_adaptive(&self) -> bool {
-        matches!(
-            self,
-            Mechanism::VanillaUgal | Mechanism::KspUgal | Mechanism::KspAdaptive
-        )
+        matches!(self, Mechanism::VanillaUgal | Mechanism::KspUgal | Mechanism::KspAdaptive)
     }
 
     /// Whether valiant (intermediate-switch) paths are used, requiring an

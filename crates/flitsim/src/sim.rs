@@ -8,7 +8,10 @@
 
 use crate::config::{EstimateForm, InjectionProcess, SimConfig};
 use crate::mechanism::Mechanism;
+#[cfg(feature = "obs")]
+use crate::observe::{ObserveConfig, SimMetrics, SimObserver};
 use crate::stats::{RunResult, SampleAccumulator};
+use jellyfish_obs::LogHistogram;
 use jellyfish_routing::PathTable;
 use jellyfish_topology::{DegradedGraph, FaultKind, FaultPlan, Graph, LinkId, NodeId, RrgParams};
 use jellyfish_traffic::PacketDestinations;
@@ -52,13 +55,7 @@ impl Arena {
             p.retries = 0;
             id
         } else {
-            self.packets.push(Packet {
-                path: Vec::new(),
-                hop: 0,
-                dst_host,
-                gen_cycle,
-                retries: 0,
-            });
+            self.packets.push(Packet { path: Vec::new(), hop: 0, dst_host, gen_cycle, retries: 0 });
             (self.packets.len() - 1) as PacketId
         }
     }
@@ -146,8 +143,15 @@ pub struct Simulator<'a> {
     link_sends: Vec<u64>,
     /// Ejected-packet counts by hop count during measurement.
     hop_hist: Vec<u64>,
+    /// Log-bucketed latency histogram over measured ejections (feeds the
+    /// percentile block of [`RunResult`]).
+    lat_hist: LogHistogram,
     min_lat: u64,
     max_lat: u64,
+    /// Per-cycle occupancy/credit-stall sampler, attached via
+    /// [`Simulator::with_observer`].
+    #[cfg(feature = "obs")]
+    observer: Option<SimObserver>,
 
     /// Fault schedule driving mid-run link/switch failures, if any.
     fault_plan: Option<&'a FaultPlan>,
@@ -211,10 +215,7 @@ impl<'a> Simulator<'a> {
         // A packet's tail arrives channel_latency + (flits - 1) cycles
         // after the grant; size the delay lines accordingly.
         let lat = cfg.channel_latency as usize + cfg.packet_flits as usize - 1;
-        let max_out = (0..graph.num_nodes() as NodeId)
-            .map(|u| graph.degree(u))
-            .max()
-            .unwrap_or(0)
+        let max_out = (0..graph.num_nodes() as NodeId).map(|u| graph.degree(u)).max().unwrap_or(0)
             + params.hosts_per_switch();
         assert!(max_out <= 64, "router radix {max_out} exceeds the allocator's 64-port limit");
         assert!(num_vcs <= 32, "hop-indexed VC count {num_vcs} exceeds the 32-bit occupancy mask");
@@ -243,8 +244,11 @@ impl<'a> Simulator<'a> {
             inj_credit: vec![0.0; hosts],
             link_sends: vec![0; links],
             hop_hist: vec![0; num_vcs + 1],
+            lat_hist: LogHistogram::new(),
             min_lat: u64::MAX,
             max_lat: 0,
+            #[cfg(feature = "obs")]
+            observer: None,
             fault_plan: None,
             fault_view: None,
             degraded_table: None,
@@ -309,9 +313,7 @@ impl<'a> Simulator<'a> {
         let hops = (path.len() - 1) as u64;
         let q = self.congestion(path[0], path[1]) as u64;
         match self.cfg.estimate {
-            EstimateForm::QueuePlusHopLatency => {
-                q + (self.cfg.channel_latency as u64 + 1) * hops
-            }
+            EstimateForm::QueuePlusHopLatency => q + (self.cfg.channel_latency as u64 + 1) * hops,
             EstimateForm::QueueTimesHops => q * hops,
         }
     }
@@ -589,8 +591,8 @@ impl<'a> Simulator<'a> {
                     QueueRef::Net(qi) => {
                         // Return the freed slots' credit upstream after the
                         // channel latency.
-                        let slot = (self.cycle + self.cfg.channel_latency) as usize
-                            % self.cred.len();
+                        let slot =
+                            (self.cycle + self.cfg.channel_latency) as usize % self.cred.len();
                         self.cred[slot].push(qi);
                         let popped = self.in_buf[qi as usize].pop_front();
                         if self.in_buf[qi as usize].is_empty() {
@@ -604,8 +606,7 @@ impl<'a> Simulator<'a> {
                 let flits = self.cfg.packet_flits as u32;
                 if flits > 1 {
                     let key = if req.qi_next == u32::MAX {
-                        self.graph.num_links()
-                            + self.arena.get(req.packet).dst_host as usize
+                        self.graph.num_links() + self.arena.get(req.packet).dst_host as usize
                     } else {
                         req.qi_next as usize / self.num_vcs
                     };
@@ -617,6 +618,7 @@ impl<'a> Simulator<'a> {
                     let latency = (self.cycle - pkt.gen_cycle) as u64;
                     if measuring {
                         acc.record(latency);
+                        self.lat_hist.record(latency);
                         *ejected += 1;
                         self.min_lat = self.min_lat.min(latency);
                         self.max_lat = self.max_lat.max(latency);
@@ -633,10 +635,8 @@ impl<'a> Simulator<'a> {
                         self.link_sends[req.qi_next as usize / self.num_vcs] += 1;
                     }
                     // Tail flit lands after serialization + wire delay.
-                    let arrive = self.cycle
-                        + self.cfg.channel_latency
-                        + self.cfg.packet_flits as u32
-                        - 1;
+                    let arrive =
+                        self.cycle + self.cfg.channel_latency + self.cfg.packet_flits as u32 - 1;
                     let slot = arrive as usize % self.chan.len();
                     self.chan[slot].push((req.packet, req.qi_next));
                 }
@@ -848,8 +848,23 @@ impl<'a> Simulator<'a> {
         let mut generated = 0u64;
         let mut ejected = 0u64;
         let mut early_saturated = false;
+        // Measured cycles since the last window close; a nonzero value
+        // after the loop means a partial window must still be closed.
+        let mut window_cycles = 0u32;
         while self.cycle < total {
             let measuring = self.cycle >= self.cfg.warmup_cycles;
+            #[cfg(feature = "obs")]
+            if let Some(obs) = self.observer.as_mut() {
+                if measuring {
+                    obs.maybe_sample(
+                        self.cycle - self.cfg.warmup_cycles,
+                        &self.credits,
+                        self.cfg.vc_buffer,
+                        self.cfg.packet_flits,
+                        self.num_vcs,
+                    );
+                }
+            }
             // 0. Cut links/switches whose failure time is due, before the
             //    wire delivers: packets on a cut wire are lost.
             self.apply_pending_faults();
@@ -871,6 +886,9 @@ impl<'a> Simulator<'a> {
             self.allocate(measuring, &mut acc, &mut ejected);
 
             self.cycle += 1;
+            if measuring {
+                window_cycles += 1;
+            }
             if self.overflowed {
                 early_saturated = true;
                 break;
@@ -879,15 +897,24 @@ impl<'a> Simulator<'a> {
                 && (self.cycle - self.cfg.warmup_cycles).is_multiple_of(self.cfg.sample_cycles)
             {
                 acc.end_window();
+                window_cycles = 0;
                 let worst = acc.window_means().last().copied().unwrap_or(f64::NAN);
-                if worst > self.cfg.saturation_latency
-                    || (worst.is_nan() && self.arena.live() > 0)
+                if worst > self.cfg.saturation_latency || (worst.is_nan() && self.arena.live() > 0)
                 {
                     early_saturated = true;
                     break;
                 }
             }
         }
+        // An early exit can leave a partially measured window open; its
+        // packets already fed the overall mean and the ejected count, so
+        // close it — otherwise the trailing window silently vanishes from
+        // `sample_latencies` and `total_ejected()` disagrees with
+        // `ejected`.
+        if window_cycles > 0 {
+            acc.end_window();
+        }
+        debug_assert_eq!(acc.total_ejected(), ejected);
 
         let sample_latencies = acc.window_means();
         let in_flight = self.arena.live() as u64;
@@ -896,9 +923,13 @@ impl<'a> Simulator<'a> {
             || sample_latencies
                 .iter()
                 .any(|m| m.is_nan() && in_flight > 0 || *m > self.cfg.saturation_latency);
-        let meas_cycles = (self.cfg.sample_cycles * self.cfg.num_samples) as f64;
-        let utils: Vec<f64> =
-            self.link_sends.iter().map(|&s| s as f64 / meas_cycles).collect();
+        // Normalize rates by the cycles actually measured, not by the
+        // configured measurement length: early termination would
+        // otherwise deflate `accepted` and every link utilization.
+        let measured_cycles = u64::from(self.cycle.saturating_sub(self.cfg.warmup_cycles));
+        let meas_cycles = measured_cycles.max(1) as f64;
+        let utils: Vec<f64> = self.link_sends.iter().map(|&s| s as f64 / meas_cycles).collect();
+        let (p50, p90, p99, p999) = self.lat_hist.percentiles();
         RunResult {
             offered: self.rate,
             accepted: ejected as f64 / (self.params.num_hosts() as f64 * meas_cycles),
@@ -907,14 +938,41 @@ impl<'a> Simulator<'a> {
             saturated,
             generated,
             ejected,
+            measured_cycles,
             min_latency: if self.min_lat == u64::MAX { 0 } else { self.min_lat },
             max_latency: self.max_lat,
+            p50_latency: p50,
+            p90_latency: p90,
+            p99_latency: p99,
+            p999_latency: p999,
             hop_histogram: self.hop_hist.clone(),
             mean_link_utilization: utils.iter().sum::<f64>() / utils.len().max(1) as f64,
             max_link_utilization: utils.iter().cloned().fold(0.0, f64::max),
             dropped: self.dropped,
             rerouted: self.rerouted,
         }
+    }
+
+    /// Attaches a per-cycle occupancy/credit-stall sampler. Must be
+    /// called before [`Self::run`]; collect the report afterwards with
+    /// [`Self::take_metrics`]. Observation never perturbs the simulation
+    /// itself — results stay byte-identical with and without it.
+    #[cfg(feature = "obs")]
+    pub fn with_observer(mut self, cfg: ObserveConfig) -> Self {
+        assert_eq!(self.cycle, 0, "attach observers before running");
+        self.observer = Some(SimObserver::new(cfg, self.graph.num_links(), self.num_vcs));
+        self
+    }
+
+    /// Detaches the observer and returns its report (per-link/per-VC
+    /// occupancy and credit-stall time series, link utilizations, the
+    /// latency histogram). `None` if no observer was attached.
+    #[cfg(feature = "obs")]
+    pub fn take_metrics(&mut self) -> Option<SimMetrics> {
+        let obs = self.observer.take()?;
+        let measured = u64::from(self.cycle.saturating_sub(self.cfg.warmup_cycles)).max(1);
+        let utils = self.link_sends.iter().map(|&s| s as f64 / measured as f64).collect();
+        Some(obs.into_metrics(utils, self.lat_hist.clone()))
     }
 }
 
@@ -997,16 +1055,8 @@ mod tests {
             Mechanism::KspUgal,
             Mechanism::KspAdaptive,
         ] {
-            let mut sim = Simulator::new(
-                &g,
-                p,
-                &t,
-                Some(&sp),
-                mech,
-                uniform(&p),
-                0.1,
-                SimConfig::paper(),
-            );
+            let mut sim =
+                Simulator::new(&g, p, &t, Some(&sp), mech, uniform(&p), 0.1, SimConfig::paper());
             let r = sim.run();
             assert!(!r.saturated, "{} saturated at 10% load: {r:?}", mech.name());
             assert!(
@@ -1093,16 +1143,7 @@ mod tests {
         let mut cfg = SimConfig::paper();
         cfg.warmup_cycles = 0;
         cfg.num_samples = 20; // long run at low load: everything drains
-        let mut sim = Simulator::new(
-            &g,
-            p,
-            &t,
-            None,
-            Mechanism::Random,
-            uniform(&p),
-            0.02,
-            cfg,
-        );
+        let mut sim = Simulator::new(&g, p, &t, None, Mechanism::Random, uniform(&p), 0.02, cfg);
         let r = sim.run();
         assert!(r.ejected <= r.generated);
         assert!(r.generated - r.ejected < 50, "{r:?}");
@@ -1157,8 +1198,7 @@ mod tests {
         let t = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
         let mut cfg = SimConfig::paper();
         cfg.injection = crate::config::InjectionProcess::Periodic;
-        let mut sim =
-            Simulator::new(&g, p, &t, None, Mechanism::Random, uniform(&p), 0.25, cfg);
+        let mut sim = Simulator::new(&g, p, &t, None, Mechanism::Random, uniform(&p), 0.25, cfg);
         let r = sim.run();
         assert!(!r.saturated);
         // Deterministic pacing: generated count is exactly
@@ -1184,12 +1224,8 @@ mod tests {
                 Simulator::new(&g, p, &t, None, Mechanism::KspUgal, uniform(&p), 0.4, cfg);
             let r = sim.run();
             let total: u64 = r.hop_histogram.iter().sum();
-            let weighted: u64 = r
-                .hop_histogram
-                .iter()
-                .enumerate()
-                .map(|(h, &c)| h as u64 * c)
-                .sum();
+            let weighted: u64 =
+                r.hop_histogram.iter().enumerate().map(|(h, &c)| h as u64 * c).sum();
             weighted as f64 / total as f64
         };
         let unbiased = mean_hops(0);
@@ -1198,10 +1234,7 @@ mod tests {
         // unbiased run's (same pairs, minimal path always chosen), but the
         // two runs eject different packet sets, so the means compare only
         // up to that composition noise.
-        assert!(
-            biased <= unbiased + 0.05,
-            "biased {biased} should not exceed unbiased {unbiased}"
-        );
+        assert!(biased <= unbiased + 0.05, "biased {biased} should not exceed unbiased {unbiased}");
     }
 
     #[test]
@@ -1323,17 +1356,9 @@ mod tests {
         cfg.warmup_cycles = 0; // every cycle measures: drops are comparable
         cfg.num_samples = 20; // long low-load tail so survivors drain
         let run = || {
-            let mut sim = Simulator::new(
-                &g,
-                p,
-                &t,
-                None,
-                Mechanism::Random,
-                uniform(&p),
-                0.05,
-                cfg,
-            )
-            .with_fault_plan(&plan);
+            let mut sim =
+                Simulator::new(&g, p, &t, None, Mechanism::Random, uniform(&p), 0.05, cfg)
+                    .with_fault_plan(&plan);
             sim.run()
         };
         let r = run();
@@ -1356,17 +1381,8 @@ mod tests {
         plan.add_switch_failure(0, 3);
         let mut cfg = SimConfig::paper();
         cfg.warmup_cycles = 0;
-        let mut sim = Simulator::new(
-            &g,
-            p,
-            &t,
-            None,
-            Mechanism::Random,
-            uniform(&p),
-            0.1,
-            cfg,
-        )
-        .with_fault_plan(&plan);
+        let mut sim = Simulator::new(&g, p, &t, None, Mechanism::Random, uniform(&p), 0.1, cfg)
+            .with_fault_plan(&plan);
         let r = sim.run();
         // Traffic to the dead switch's hosts is dropped at the source...
         assert!(r.dropped > 0, "{r:?}");
@@ -1391,17 +1407,8 @@ mod tests {
         let mut cfg = SimConfig::paper();
         cfg.warmup_cycles = 0;
         cfg.fault_repair = false;
-        let mut sim = Simulator::new(
-            &g,
-            p,
-            &t,
-            None,
-            Mechanism::Random,
-            uniform(&p),
-            0.1,
-            cfg,
-        )
-        .with_fault_plan(&plan);
+        let mut sim = Simulator::new(&g, p, &t, None, Mechanism::Random, uniform(&p), 0.1, cfg)
+            .with_fault_plan(&plan);
         let r = sim.run();
         assert!(r.dropped > 0, "{r:?}");
         assert!(r.ejected > 0, "{r:?}");
@@ -1414,22 +1421,10 @@ mod tests {
         let t = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
         let sp = PathTable::compute(&g, PathSelection::SinglePath, &PairSet::AllPairs, 0);
         let plan = FaultPlan::random_links(&g, 0.1, 50, 11);
-        for mech in [
-            Mechanism::KspAdaptive,
-            Mechanism::KspUgal,
-            Mechanism::VanillaUgal,
-        ] {
-            let mut sim = Simulator::new(
-                &g,
-                p,
-                &t,
-                Some(&sp),
-                mech,
-                uniform(&p),
-                0.05,
-                SimConfig::paper(),
-            )
-            .with_fault_plan(&plan);
+        for mech in [Mechanism::KspAdaptive, Mechanism::KspUgal, Mechanism::VanillaUgal] {
+            let mut sim =
+                Simulator::new(&g, p, &t, Some(&sp), mech, uniform(&p), 0.05, SimConfig::paper())
+                    .with_fault_plan(&plan);
             let r = sim.run();
             assert!(r.ejected > 0, "{mech:?} delivered nothing: {r:?}");
         }

@@ -3,7 +3,7 @@
 //! routing crate's path-table format):
 //!
 //! ```text
-//! jellyfish-run v1
+//! jellyfish-run v2
 //! offered <f64>
 //! ...one `<field> <value>` line per scalar field...
 //! samples <f64> <f64> ...
@@ -11,7 +11,10 @@
 //! ```
 //!
 //! Floats are written with Rust's shortest round-tripping formatting;
-//! `NaN` is legal (an empty run has no mean latency).
+//! `NaN` is legal (an empty run has no mean latency). Duplicate field
+//! lines are rejected, not last-wins-ignored. v2 added the
+//! `measured_cycles` scalar and the latency percentile block
+//! (`p50_latency` .. `p999_latency`); v1 files are no longer read.
 
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -38,10 +41,25 @@ pub struct RunResult {
     pub generated: u64,
     /// Packets ejected during measurement.
     pub ejected: u64,
+    /// Cycles actually measured. Equal to the configured
+    /// `sample_cycles * num_samples` on a clean run, smaller when the
+    /// run terminated early (source-queue overflow or early saturation
+    /// exit). Rates (`accepted`, link utilizations) are normalized by
+    /// this, not by the configured length.
+    pub measured_cycles: u64,
     /// Minimum packet latency observed during measurement (0 if none).
     pub min_latency: u64,
     /// Maximum packet latency observed during measurement.
     pub max_latency: u64,
+    /// Median packet latency (cycles), log-bucketed estimate within
+    /// ~1.6% relative error (exact below 128).
+    pub p50_latency: u64,
+    /// 90th-percentile packet latency (cycles), same precision as p50.
+    pub p90_latency: u64,
+    /// 99th-percentile packet latency (cycles), same precision as p50.
+    pub p99_latency: u64,
+    /// 99.9th-percentile packet latency (cycles), same precision as p50.
+    pub p999_latency: u64,
     /// Ejected-packet counts by network hop count (index = hops).
     pub hop_histogram: Vec<u64>,
     /// Mean utilization over directed switch links during measurement
@@ -60,9 +78,9 @@ pub struct RunResult {
 }
 
 /// Magic header line of the run-result text format.
-const HEADER: &str = "jellyfish-run v1";
+const HEADER: &str = "jellyfish-run v2";
 
-/// Serializes a [`RunResult`] into the v1 text format.
+/// Serializes a [`RunResult`] into the v2 text format.
 pub fn write_result<W: Write>(r: &RunResult, mut out: W) -> io::Result<()> {
     let mut buf = String::new();
     writeln!(buf, "{HEADER}").unwrap();
@@ -72,8 +90,13 @@ pub fn write_result<W: Write>(r: &RunResult, mut out: W) -> io::Result<()> {
     writeln!(buf, "saturated {}", u8::from(r.saturated)).unwrap();
     writeln!(buf, "generated {}", r.generated).unwrap();
     writeln!(buf, "ejected {}", r.ejected).unwrap();
+    writeln!(buf, "measured_cycles {}", r.measured_cycles).unwrap();
     writeln!(buf, "min_latency {}", r.min_latency).unwrap();
     writeln!(buf, "max_latency {}", r.max_latency).unwrap();
+    writeln!(buf, "p50_latency {}", r.p50_latency).unwrap();
+    writeln!(buf, "p90_latency {}", r.p90_latency).unwrap();
+    writeln!(buf, "p99_latency {}", r.p99_latency).unwrap();
+    writeln!(buf, "p999_latency {}", r.p999_latency).unwrap();
     writeln!(buf, "mean_link_utilization {}", r.mean_link_utilization).unwrap();
     writeln!(buf, "max_link_utilization {}", r.max_link_utilization).unwrap();
     writeln!(buf, "dropped {}", r.dropped).unwrap();
@@ -117,13 +140,14 @@ impl From<io::Error> for ResultReadError {
     }
 }
 
-/// Parses a v1 text file back into a [`RunResult`].
+/// Parses a v2 text file back into a [`RunResult`]. Duplicate field
+/// lines (scalar, `samples` or `hops`) are an error: a file that says
+/// `ejected` twice is corrupt, and silently keeping the last occurrence
+/// would misreport the run.
 pub fn read_result<R: BufRead>(input: R) -> Result<RunResult, ResultReadError> {
     let bad = |m: String| ResultReadError::Parse(m);
     let mut lines = input.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| bad("missing header".into()))??;
+    let header = lines.next().ok_or_else(|| bad("missing header".into()))??;
     if header.trim() != HEADER {
         return Err(bad(format!("bad header {header:?}")));
     }
@@ -139,17 +163,23 @@ pub fn read_result<R: BufRead>(input: R) -> Result<RunResult, ResultReadError> {
         let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
         match key {
             "samples" => {
-                let v: Result<Vec<f64>, _> =
-                    rest.split_whitespace().map(str::parse).collect();
+                if samples.is_some() {
+                    return Err(bad("duplicate samples line".into()));
+                }
+                let v: Result<Vec<f64>, _> = rest.split_whitespace().map(str::parse).collect();
                 samples = Some(v.map_err(|e| bad(format!("bad sample: {e}")))?);
             }
             "hops" => {
-                let v: Result<Vec<u64>, _> =
-                    rest.split_whitespace().map(str::parse).collect();
+                if hops.is_some() {
+                    return Err(bad("duplicate hops line".into()));
+                }
+                let v: Result<Vec<u64>, _> = rest.split_whitespace().map(str::parse).collect();
                 hops = Some(v.map_err(|e| bad(format!("bad hop count: {e}")))?);
             }
             _ => {
-                scalars.insert(key.to_string(), rest.trim().to_string());
+                if scalars.insert(key.to_string(), rest.trim().to_string()).is_some() {
+                    return Err(bad(format!("duplicate field {key:?}")));
+                }
             }
         }
     }
@@ -170,8 +200,13 @@ pub fn read_result<R: BufRead>(input: R) -> Result<RunResult, ResultReadError> {
         saturated: field::<u8>(&scalars, "saturated")? != 0,
         generated: field(&scalars, "generated")?,
         ejected: field(&scalars, "ejected")?,
+        measured_cycles: field(&scalars, "measured_cycles")?,
         min_latency: field(&scalars, "min_latency")?,
         max_latency: field(&scalars, "max_latency")?,
+        p50_latency: field(&scalars, "p50_latency")?,
+        p90_latency: field(&scalars, "p90_latency")?,
+        p99_latency: field(&scalars, "p99_latency")?,
+        p999_latency: field(&scalars, "p999_latency")?,
         hop_histogram: hops.ok_or_else(|| bad("missing hops line".into()))?,
         mean_link_utilization: field(&scalars, "mean_link_utilization")?,
         max_link_utilization: field(&scalars, "max_link_utilization")?,
@@ -218,12 +253,19 @@ impl SampleAccumulator {
         self.windows.iter().map(|&(m, _)| m).collect()
     }
 
-    /// Total ejected packets across closed windows.
+    /// Total ejected packets across closed windows. The simulator closes
+    /// any trailing partial window before reading results, so by then
+    /// this covers every recorded packet.
     pub fn total_ejected(&self) -> u64 {
         self.windows.iter().map(|&(_, c)| c).sum()
     }
 
-    /// Mean latency across all closed windows' packets.
+    /// True when packets were recorded since the last window close.
+    pub fn has_open_records(&self) -> bool {
+        self.window_count > 0
+    }
+
+    /// Mean latency across all recorded packets (closed or not).
     pub fn overall_mean(&self) -> f64 {
         if self.total_count == 0 {
             f64::NAN
@@ -268,8 +310,13 @@ mod tests {
             saturated: false,
             generated: 12345,
             ejected: 12001,
+            measured_cycles: 5000,
             min_latency: 12,
             max_latency: 419,
+            p50_latency: 40,
+            p90_latency: 77,
+            p99_latency: 130,
+            p999_latency: 390,
             hop_histogram: vec![0, 100, 9000, 2901],
             mean_link_utilization: 0.31,
             max_link_utilization: 0.92,
@@ -295,8 +342,13 @@ mod tests {
         assert_eq!(loaded.saturated, r.saturated);
         assert_eq!(loaded.generated, r.generated);
         assert_eq!(loaded.ejected, r.ejected);
+        assert_eq!(loaded.measured_cycles, r.measured_cycles);
         assert_eq!(loaded.min_latency, r.min_latency);
         assert_eq!(loaded.max_latency, r.max_latency);
+        assert_eq!(loaded.p50_latency, r.p50_latency);
+        assert_eq!(loaded.p90_latency, r.p90_latency);
+        assert_eq!(loaded.p99_latency, r.p99_latency);
+        assert_eq!(loaded.p999_latency, r.p999_latency);
         assert_eq!(loaded.hop_histogram, r.hop_histogram);
         assert_eq!(loaded.mean_link_utilization, r.mean_link_utilization);
         assert_eq!(loaded.max_link_utilization, r.max_link_utilization);
@@ -307,7 +359,23 @@ mod tests {
     #[test]
     fn result_read_rejects_garbage() {
         assert!(read_result("bogus\n".as_bytes()).is_err());
-        let missing = "jellyfish-run v1\noffered 0.1\n";
+        let missing = "jellyfish-run v2\noffered 0.1\n";
         assert!(read_result(missing.as_bytes()).is_err());
+        // v1 files are rejected outright rather than misread.
+        assert!(read_result("jellyfish-run v1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn result_read_rejects_duplicates() {
+        let mut buf = Vec::new();
+        write_result(&sample_result(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for dup in ["ejected 999", "samples 1 2", "hops 0 1"] {
+            let corrupt = format!("{text}{dup}\n");
+            let err = read_result(corrupt.as_bytes()).unwrap_err();
+            assert!(err.to_string().contains("duplicate"), "{dup}: {err}");
+        }
+        // The original, without duplicated lines, still parses.
+        assert!(read_result(text.as_bytes()).is_ok());
     }
 }

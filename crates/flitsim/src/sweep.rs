@@ -45,6 +45,7 @@ pub struct LoadPoint {
 
 /// Runs the simulator once at `rate`.
 pub fn run_at(cfg: &SweepConfig<'_>, pattern: &PacketDestinations, rate: f64) -> RunResult {
+    let _span = jellyfish_obs::span("flitsim.run");
     let mut sim = Simulator::new(
         cfg.graph,
         cfg.params,
@@ -58,7 +59,9 @@ pub fn run_at(cfg: &SweepConfig<'_>, pattern: &PacketDestinations, rate: f64) ->
     if let Some(plan) = cfg.faults {
         sim = sim.with_fault_plan(plan);
     }
-    sim.run()
+    let result = sim.run();
+    jellyfish_obs::global().counter_add("flitsim.cycles.measured", result.measured_cycles);
+    result
 }
 
 /// Finds the saturation throughput: the largest injection rate (at
@@ -74,6 +77,7 @@ pub fn saturation_throughput(
     resolution: f64,
 ) -> f64 {
     assert!(resolution > 0.0 && resolution < 1.0, "bad resolution");
+    let _span = jellyfish_obs::span("flitsim.saturation_search");
     let steps = (1.0 / resolution).round() as u32;
     // Bisect over integer step counts: lo survives, hi saturates.
     if !run_at(cfg, pattern, 1.0).saturated {
@@ -102,10 +106,7 @@ pub fn mean_saturation_throughput(
     resolution: f64,
 ) -> f64 {
     assert!(!patterns.is_empty());
-    let sum: f64 = patterns
-        .par_iter()
-        .map(|p| saturation_throughput(cfg, p, resolution))
-        .sum();
+    let sum: f64 = patterns.par_iter().map(|p| saturation_throughput(cfg, p, resolution)).sum();
     sum / patterns.len() as f64
 }
 
@@ -115,10 +116,8 @@ pub fn latency_curve(
     pattern: &PacketDestinations,
     rates: &[f64],
 ) -> Vec<LoadPoint> {
-    rates
-        .par_iter()
-        .map(|&r| LoadPoint { offered: r, result: run_at(cfg, pattern, r) })
-        .collect()
+    let _span = jellyfish_obs::span("flitsim.latency_curve");
+    rates.par_iter().map(|&r| LoadPoint { offered: r, result: run_at(cfg, pattern, r) }).collect()
 }
 
 #[cfg(test)]

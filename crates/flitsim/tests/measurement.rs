@@ -1,0 +1,158 @@
+//! Regression tests for the measurement-accuracy fixes: early
+//! termination must normalize rates by the cycles actually measured,
+//! the trailing partial sample window must be closed into
+//! `sample_latencies`, and `read_result` must reject corrupt files
+//! with duplicated lines.
+
+use jellyfish_flitsim::{read_result, write_result, Mechanism, SimConfig, Simulator};
+use jellyfish_routing::{PairSet, PathSelection, PathTable};
+use jellyfish_topology::{build_rrg, ConstructionMethod, RrgParams};
+use jellyfish_traffic::PacketDestinations;
+use proptest::prelude::*;
+
+fn setup(seed: u64) -> (jellyfish_topology::Graph, RrgParams, PathTable) {
+    let params = RrgParams::new(10, 6, 4);
+    let g = build_rrg(params, ConstructionMethod::Incremental, seed).unwrap();
+    let table = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, seed);
+    (g, params, table)
+}
+
+/// Saturating single-path routing at full load terminates the run
+/// early; `accepted` and utilizations must be normalized by the cycles
+/// actually measured, not the configured measurement length.
+#[test]
+fn early_termination_normalizes_by_measured_cycles() {
+    let (g, p, t) = setup(7);
+    let mut cfg = SimConfig::paper();
+    cfg.seed = 7;
+    let pattern = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
+    let mut sim = Simulator::new(&g, p, &t, None, Mechanism::SinglePath, pattern, 1.0, cfg);
+    let r = sim.run();
+    assert!(r.saturated, "full load should saturate SP routing: {r:?}");
+    let configured = u64::from(cfg.sample_cycles) * u64::from(cfg.num_samples);
+    assert!(r.measured_cycles > 0);
+    assert!(
+        r.measured_cycles < configured,
+        "expected early exit, measured {} of {configured}",
+        r.measured_cycles
+    );
+    // Exact normalization by measured cycles: at full load on a
+    // saturated network this stays well above the near-zero value the
+    // old full-length division produced for very early exits.
+    let expect = r.ejected as f64 / (p.num_hosts() as f64 * r.measured_cycles as f64);
+    assert!((r.accepted - expect).abs() < 1e-12, "accepted {} != {expect}", r.accepted);
+    // One window mean per started window, partial trailer included.
+    let windows = r.measured_cycles.div_ceil(u64::from(cfg.sample_cycles));
+    assert_eq!(r.sample_latencies.len() as u64, windows, "{r:?}");
+}
+
+/// A source-queue overflow mid-window must not drop the trailing
+/// partial window: its packets already fed `ejected` and the overall
+/// mean, so it must also appear in `sample_latencies`.
+#[test]
+fn trailing_partial_window_is_closed() {
+    let (g, p, t) = setup(3);
+    let mut cfg = SimConfig::paper();
+    cfg.seed = 3;
+    cfg.warmup_cycles = 0;
+    cfg.source_queue_cap = 16;
+    let pattern = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
+    let mut sim = Simulator::new(&g, p, &t, None, Mechanism::SinglePath, pattern, 1.0, cfg);
+    let r = sim.run();
+    assert!(r.saturated, "{r:?}");
+    assert!(
+        !r.measured_cycles.is_multiple_of(u64::from(cfg.sample_cycles)),
+        "test needs a mid-window overflow to be meaningful: {r:?}"
+    );
+    assert!(!r.sample_latencies.is_empty(), "partial window dropped: {r:?}");
+    assert_eq!(
+        r.sample_latencies.len() as u64,
+        r.measured_cycles.div_ceil(u64::from(cfg.sample_cycles)),
+        "{r:?}"
+    );
+}
+
+/// Latency percentiles come from the log-bucketed histogram: ordered,
+/// bracketed by the exact extrema, and present in a normal run.
+#[test]
+fn percentiles_are_ordered_and_bracketed() {
+    let (g, p, t) = setup(11);
+    let mut cfg = SimConfig::paper();
+    cfg.seed = 11;
+    cfg.num_samples = 4;
+    let pattern = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
+    let mut sim = Simulator::new(&g, p, &t, None, Mechanism::KspAdaptive, pattern, 0.1, cfg);
+    let r = sim.run();
+    assert!(r.ejected > 0);
+    assert!(r.min_latency <= r.p50_latency, "{r:?}");
+    assert!(r.p50_latency <= r.p90_latency, "{r:?}");
+    assert!(r.p90_latency <= r.p99_latency, "{r:?}");
+    assert!(r.p99_latency <= r.p999_latency, "{r:?}");
+    // The histogram caps quantiles at the exact observed maximum.
+    assert!(r.p999_latency <= r.max_latency, "{r:?}");
+}
+
+/// With the `obs` feature on, attaching an observer must not perturb
+/// the simulation: same seed, byte-identical result.
+#[cfg(feature = "obs")]
+#[test]
+fn observer_does_not_perturb_the_run() {
+    use jellyfish_flitsim::ObserveConfig;
+    let (g, p, t) = setup(5);
+    let mut cfg = SimConfig::paper();
+    cfg.seed = 5;
+    cfg.num_samples = 3;
+    let pattern = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
+    let mut plain = Simulator::new(&g, p, &t, None, Mechanism::KspUgal, pattern.clone(), 0.2, cfg);
+    let baseline = plain.run();
+    let mut observed = Simulator::new(&g, p, &t, None, Mechanism::KspUgal, pattern, 0.2, cfg)
+        .with_observer(ObserveConfig { stride: 16 });
+    let r = observed.run();
+    assert_eq!(r, baseline, "observer changed the simulation outcome");
+    let m = observed.take_metrics().expect("observer attached");
+    assert!(!m.ticks.is_empty());
+    assert_eq!(m.latency.count(), baseline.ejected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any scalar line duplicated anywhere in a well-formed v2 file
+    /// makes `read_result` reject it instead of last-wins-ignoring.
+    #[test]
+    fn read_result_rejects_any_duplicated_line(
+        seed in any::<u64>(),
+        pick in any::<usize>(),
+        insert in any::<usize>(),
+    ) {
+        let (g, p, t) = setup(seed % 8);
+        let mut cfg = SimConfig::paper();
+        cfg.seed = seed;
+        cfg.num_samples = 2;
+        let pattern = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
+        let mut sim =
+            Simulator::new(&g, p, &t, None, Mechanism::Random, pattern, 0.05, cfg);
+        let r = sim.run();
+        let mut buf = Vec::new();
+        write_result(&r, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Sanity: the pristine file parses back to the same result.
+        prop_assert_eq!(&read_result(text.as_bytes()).unwrap(), &r);
+
+        let mut lines: Vec<&str> =
+            text.lines().filter(|l| !l.is_empty()).collect();
+        // Duplicate one body line (never the header) at a random spot
+        // after the header.
+        let body = pick % (lines.len() - 1) + 1;
+        let dup = lines[body];
+        let at = insert % (lines.len() - 1) + 1;
+        lines.insert(at, dup);
+        let corrupt = lines.join("\n");
+        let err = read_result(corrupt.as_bytes())
+            .expect_err("duplicated line must be rejected");
+        prop_assert!(
+            format!("{err}").contains("duplicate"),
+            "unexpected error for duplicated {dup:?}: {err}"
+        );
+    }
+}

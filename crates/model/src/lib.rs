@@ -94,10 +94,8 @@ impl<'a> ThroughputModel<'a> {
                 ej[f.dst as usize] += 1;
                 continue;
             }
-            let ps = self
-                .table
-                .get(s, d)
-                .unwrap_or_else(|| panic!("path table missing pair {s}->{d}"));
+            let ps =
+                self.table.get(s, d).unwrap_or_else(|| panic!("path table missing pair {s}->{d}"));
             assert!(!ps.is_empty(), "no paths for pair {s}->{d}");
             inj[f.src as usize] += ps.len() as u32;
             ej[f.dst as usize] += ps.len() as u32;
@@ -117,8 +115,7 @@ impl<'a> ThroughputModel<'a> {
         for f in flows {
             let s = self.params.switch_of_host(f.src as usize);
             let d = self.params.switch_of_host(f.dst as usize);
-            let endpoint_load =
-                inj[f.src as usize].max(ej[f.dst as usize]) as f64 / cap;
+            let endpoint_load = inj[f.src as usize].max(ej[f.dst as usize]) as f64 / cap;
             let t = if s == d {
                 1.0 / endpoint_load
             } else {

@@ -51,9 +51,7 @@ pub fn max_min_throughput(
             sub_flow.push(fi as u32);
             continue;
         }
-        let ps = table
-            .get(s, d)
-            .unwrap_or_else(|| panic!("path table missing pair {s}->{d}"));
+        let ps = table.get(s, d).unwrap_or_else(|| panic!("path table missing pair {s}->{d}"));
         assert!(!ps.is_empty(), "no paths for pair {s}->{d}");
         for path in ps.iter() {
             let mut res = Vec::with_capacity(path.len() + 1);
@@ -236,12 +234,7 @@ mod tests {
         let t = PathTable::compute(&g, PathSelection::REdKsp(8), &pairs, 0);
         let eq1 = ThroughputModel::new(&g, p, &t).evaluate(&flows);
         let mm = max_min_throughput(&g, p, &t, &flows, 1.0);
-        assert!(
-            mm.mean >= eq1.mean - 1e-9,
-            "max-min {} below Eq.(1) {}",
-            mm.mean,
-            eq1.mean
-        );
+        assert!(mm.mean >= eq1.mean - 1e-9, "max-min {} below Eq.(1) {}", mm.mean, eq1.mean);
         assert!(mm.mean <= 1.0 + 1e-9, "NIC bound violated: {}", mm.mean);
     }
 

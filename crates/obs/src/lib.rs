@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Self-hosted observability for the Jellyfish reproduction.
+//!
+//! The build environment has no registry access, so instead of
+//! `tracing` + `hdrhistogram` this crate implements the small slice the
+//! workspace needs, dependency-free:
+//!
+//! * [`LogHistogram`] — a log-bucketed `u64` histogram (~1.6% relative
+//!   quantile error) with a p50/p90/p99/p999 block, cheap enough to
+//!   record every ejected packet in the cycle-level simulator;
+//! * [`Registry`] — named counters / gauges / histograms / series with
+//!   deterministic (sorted) iteration, plus a process-wide instance
+//!   ([`global`]) that library instrumentation reports into;
+//! * [`span`] — RAII wall-clock timing spans (a `<name>.micros`
+//!   histogram and a `<name>.calls` counter in the global registry),
+//!   used around path table construction/repair and the simulator
+//!   sweep stages;
+//! * `jellyfish-metrics v1` — a line-oriented text format
+//!   ([`write_metrics`] / [`read_metrics`], lossless round-trip) and a
+//!   JSON rendering ([`metrics_to_json`]) in the same idiom as the
+//!   `jellyfish-run v2` / `jellyfish-faults v1` formats.
+//!
+//! What belongs where: *always-on* aggregates (timings, run counters,
+//! latency percentiles) go through this crate unconditionally — their
+//! cost is nanoseconds per event. *Per-cycle* telemetry (link occupancy,
+//! credit stalls) lives behind the simulator's `obs` feature because
+//! even a strided sweep over every link is measurable work.
+
+mod hist;
+mod registry;
+mod serialize;
+
+pub use hist::LogHistogram;
+pub use registry::{global, span, take_global, Registry, Span};
+pub use serialize::{
+    hist_to_json, metrics_to_json, read_metrics, write_metrics, MetricsReadError, METRICS_HEADER,
+};

@@ -1,0 +1,267 @@
+//! Named metrics: counters, gauges, histograms and series, plus a
+//! process-wide registry that timing spans report into.
+//!
+//! All maps are `BTreeMap`s so iteration (and therefore serialization)
+//! order is deterministic. Metric names must be non-empty and free of
+//! whitespace — they become single tokens of the `jellyfish-metrics v1`
+//! text format.
+
+use crate::hist::LogHistogram;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// A set of named metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, LogHistogram>,
+    series: BTreeMap<String, Vec<f64>>,
+}
+
+fn check_name(name: &str) {
+    assert!(
+        !name.is_empty() && !name.contains(char::is_whitespace),
+        "metric name {name:?} must be non-empty and whitespace-free"
+    );
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no metric of any kind is registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+            && self.series.is_empty()
+    }
+
+    /// Adds `v` to the named counter (created at 0).
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        check_name(name);
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        check_name(name);
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records a sample into the named histogram (created empty).
+    pub fn hist_record(&mut self, name: &str, v: u64) {
+        check_name(name);
+        self.hists.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// Appends a point to the named series (created empty).
+    pub fn series_push(&mut self, name: &str, v: f64) {
+        check_name(name);
+        self.series.entry(name.to_string()).or_default().push(v);
+    }
+
+    /// Replaces the named series wholesale.
+    pub fn series_set(&mut self, name: &str, values: Vec<f64>) {
+        check_name(name);
+        self.series.insert(name.to_string(), values);
+    }
+
+    /// Inserts a pre-built histogram under `name`, merging into any
+    /// existing one.
+    pub fn hist_merge(&mut self, name: &str, h: &LogHistogram) {
+        check_name(name);
+        self.hists.entry(name.to_string()).or_default().merge(h);
+    }
+
+    /// The named counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The named gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if present.
+    pub fn hist(&self, name: &str) -> Option<&LogHistogram> {
+        self.hists.get(name)
+    }
+
+    /// The named series, if present.
+    pub fn series(&self, name: &str) -> Option<&[f64]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// Counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Histograms in name order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &LogHistogram)> + '_ {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Series in name order.
+    pub fn all_series(&self) -> impl Iterator<Item = (&str, &[f64])> + '_ {
+        self.series.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Folds `other` into this registry: counters add, gauges overwrite,
+    /// histograms merge, series append.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges.insert(k.clone(), v);
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, s) in &other.series {
+            self.series.entry(k.clone()).or_default().extend_from_slice(s);
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Mutex<Registry>> = OnceLock::new();
+
+/// The process-wide registry that [`span`] timers and library
+/// instrumentation report into.
+pub fn global() -> MutexGuard<'static, Registry> {
+    GLOBAL
+        .get_or_init(|| Mutex::new(Registry::new()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Swaps the global registry for an empty one and returns the old
+/// contents (serialize-and-reset).
+pub fn take_global() -> Registry {
+    std::mem::take(&mut *global())
+}
+
+/// A timing span: measures wall-clock time from construction to drop
+/// (or [`Span::finish`]) and records it into the global registry as
+/// `<name>.micros` (histogram) plus `<name>.calls` (counter).
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    done: bool,
+}
+
+/// Starts a timing span reporting into the global registry.
+pub fn span(name: &'static str) -> Span {
+    Span { name, start: Instant::now(), done: false }
+}
+
+impl Span {
+    /// Ends the span now and records its duration.
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let micros = self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut g = global();
+        g.hist_record(&format!("{}.micros", self.name), micros);
+        g.counter_add(&format!("{}.calls", self.name), 1);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_iterate_sorted() {
+        let mut r = Registry::new();
+        r.counter_add("z", 2);
+        r.counter_add("a", 1);
+        r.counter_add("z", 3);
+        assert_eq!(r.counter("z"), Some(5));
+        assert_eq!(r.counter("missing"), None);
+        let names: Vec<&str> = r.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "z"]);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = Registry::new();
+        r.gauge_set("load", 0.5);
+        r.gauge_set("load", 0.75);
+        assert_eq!(r.gauge("load"), Some(0.75));
+    }
+
+    #[test]
+    fn hists_and_series_collect() {
+        let mut r = Registry::new();
+        r.hist_record("lat", 10);
+        r.hist_record("lat", 30);
+        r.series_push("q", 1.0);
+        r.series_push("q", 2.0);
+        assert_eq!(r.hist("lat").unwrap().count(), 2);
+        assert_eq!(r.series("q").unwrap(), &[1.0, 2.0]);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn merge_combines_all_kinds() {
+        let mut a = Registry::new();
+        a.counter_add("c", 1);
+        a.hist_record("h", 5);
+        a.series_push("s", 1.0);
+        let mut b = Registry::new();
+        b.counter_add("c", 2);
+        b.gauge_set("g", 9.0);
+        b.hist_record("h", 7);
+        b.series_push("s", 2.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), Some(3));
+        assert_eq!(a.gauge("g"), Some(9.0));
+        assert_eq!(a.hist("h").unwrap().count(), 2);
+        assert_eq!(a.series("s").unwrap(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whitespace-free")]
+    fn whitespace_names_are_rejected() {
+        Registry::new().counter_add("bad name", 1);
+    }
+
+    #[test]
+    fn spans_record_into_the_global_registry() {
+        // The global registry is shared across tests; use a unique name
+        // and only assert on it.
+        span("obs.test.span_smoke").finish();
+        {
+            let _guard = span("obs.test.span_smoke");
+        }
+        let g = global();
+        assert_eq!(g.counter("obs.test.span_smoke.calls"), Some(2));
+        assert_eq!(g.hist("obs.test.span_smoke.micros").unwrap().count(), 2);
+    }
+}

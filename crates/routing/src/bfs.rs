@@ -117,10 +117,7 @@ pub fn shortest_path_with(
         depth += 1;
         for &u in frontier.iter() {
             for (link, &v) in graph.out_links(u).zip(graph.neighbors(u)) {
-                if mask.link_removed(link)
-                    || mask.node_removed(v)
-                    || dist[v as usize] != UNSET
-                {
+                if mask.link_removed(link) || mask.node_removed(v) || dist[v as usize] != UNSET {
                     continue;
                 }
                 dist[v as usize] = depth;
@@ -256,10 +253,7 @@ pub(crate) mod tests {
     fn trivial_and_masked_cases() {
         let g = figure3();
         let mut mask = Mask::new(&g);
-        assert_eq!(
-            shortest_path(&g, 4, 4, &mask, &mut TieBreak::Deterministic),
-            Some(vec![4])
-        );
+        assert_eq!(shortest_path(&g, 4, 4, &mask, &mut TieBreak::Deterministic), Some(vec![4]));
         mask.remove_node(9);
         assert_eq!(shortest_path(&g, 0, 9, &mask, &mut TieBreak::Deterministic), None);
     }
@@ -295,8 +289,7 @@ pub(crate) mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {
-            let p =
-                shortest_path(&g, 0, 9, &mask, &mut TieBreak::Randomized(&mut rng)).unwrap();
+            let p = shortest_path(&g, 0, 9, &mask, &mut TieBreak::Randomized(&mut rng)).unwrap();
             assert_eq!(p.len(), 5);
             seen.insert(p);
         }
@@ -312,9 +305,8 @@ pub(crate) mod tests {
             for dst in 0..10u32 {
                 let d = shortest_path(&g, src, dst, &mask, &mut TieBreak::Deterministic)
                     .map(|p| p.len());
-                let r =
-                    shortest_path(&g, src, dst, &mask, &mut TieBreak::Randomized(&mut rng))
-                        .map(|p| p.len());
+                let r = shortest_path(&g, src, dst, &mask, &mut TieBreak::Randomized(&mut rng))
+                    .map(|p| p.len());
                 assert_eq!(d, r, "length mismatch for {src}->{dst}");
             }
         }

@@ -67,10 +67,7 @@ pub fn llskr_paths(
         return Vec::new();
     };
     let limit = shortest_hops + config.spread;
-    let within: usize = candidates
-        .iter()
-        .take_while(|p| (p.len() - 1) as u32 <= limit)
-        .count();
+    let within: usize = candidates.iter().take_while(|p| (p.len() - 1) as u32 <= limit).count();
     let keep = within.max(config.min_paths).min(candidates.len());
     let mut paths = candidates;
     paths.truncate(keep);
@@ -126,8 +123,7 @@ mod tests {
     #[test]
     fn unreachable_pair_is_empty() {
         let g = jellyfish_topology::Graph::from_edges(4, &[(0, 1), (2, 3)]);
-        let paths =
-            llskr_paths(&g, 0, 3, &LlskrConfig::default(), &mut TieBreak::Deterministic);
+        let paths = llskr_paths(&g, 0, 3, &LlskrConfig::default(), &mut TieBreak::Deterministic);
         assert!(paths.is_empty());
     }
 }

@@ -55,10 +55,7 @@ pub struct Mask {
 impl Mask {
     /// Creates an empty mask for `graph`.
     pub fn new(graph: &Graph) -> Self {
-        Self {
-            nodes: BitSet::new(graph.num_nodes()),
-            links: BitSet::new(graph.num_links()),
-        }
+        Self { nodes: BitSet::new(graph.num_nodes()), links: BitSet::new(graph.num_links()) }
     }
 
     /// Removes a node (and implicitly all paths through it).

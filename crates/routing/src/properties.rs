@@ -49,9 +49,7 @@ pub fn path_properties(graph: &Graph, table: &PathTable) -> PathProperties {
             hop_sum += (path.len() - 1) as u64;
             path_count += 1;
             for w in path.windows(2) {
-                let l = graph
-                    .link_id(w[0], w[1])
-                    .expect("table paths must follow graph edges");
+                let l = graph.link_id(w[0], w[1]).expect("table paths must follow graph edges");
                 if usage[l as usize] == 0 {
                     touched.push(l);
                 }
@@ -72,11 +70,7 @@ pub fn path_properties(graph: &Graph, table: &PathTable) -> PathProperties {
     PathProperties {
         pairs,
         avg_path_len: if path_count == 0 { 0.0 } else { hop_sum as f64 / path_count as f64 },
-        disjoint_pair_fraction: if pairs == 0 {
-            0.0
-        } else {
-            disjoint_pairs as f64 / pairs as f64
-        },
+        disjoint_pair_fraction: if pairs == 0 { 0.0 } else { disjoint_pairs as f64 / pairs as f64 },
         max_link_share: max_share,
         avg_paths_per_pair: if pairs == 0 { 0.0 } else { path_count as f64 / pairs as f64 },
     }

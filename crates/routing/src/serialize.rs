@@ -89,10 +89,9 @@ pub fn read_table<R: BufRead>(input: R) -> Result<PathTable, ReadError> {
     let mut expect = |what: &str| -> Result<(usize, String), ReadError> {
         match lines.next() {
             Some((i, Ok(l))) => Ok((i + 1, l)),
-            Some((i, Err(e))) => Err(ReadError::Parse {
-                line: i + 1,
-                message: format!("{what}: {e}"),
-            }),
+            Some((i, Err(e))) => {
+                Err(ReadError::Parse { line: i + 1, message: format!("{what}: {e}") })
+            }
             None => Err(ReadError::Parse { line: 0, message: format!("missing {what}") }),
         }
     };
@@ -122,10 +121,8 @@ pub fn read_table<R: BufRead>(input: R) -> Result<PathTable, ReadError> {
         if let Some(rest) = line.strip_prefix("pair ") {
             let mut it = rest.split_whitespace();
             let parse = |v: Option<&str>| -> Result<NodeId, ReadError> {
-                v.and_then(|x| x.parse().ok()).ok_or_else(|| ReadError::Parse {
-                    line: ln,
-                    message: "bad pair line".into(),
-                })
+                v.and_then(|x| x.parse().ok())
+                    .ok_or_else(|| ReadError::Parse { line: ln, message: "bad pair line".into() })
             };
             let s = parse(it.next())?;
             let d = parse(it.next())?;
@@ -235,8 +232,7 @@ mod tests {
 
     #[test]
     fn rejects_mismatched_path_endpoints() {
-        let text =
-            "jellyfish-paths v1\nswitches 4\nselection KSP(2)\npair 0 2\npath 0 1 3\n";
+        let text = "jellyfish-paths v1\nswitches 4\nselection KSP(2)\npair 0 2\npath 0 1 3\n";
         let err = read_table(text.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("does not span"), "{err}");
     }

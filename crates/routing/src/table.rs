@@ -49,7 +49,9 @@ impl PathSelection {
             PathSelection::RKsp(k) => format!("rKSP({k})"),
             PathSelection::EdKsp(k) => format!("EDKSP({k})"),
             PathSelection::REdKsp(k) => format!("rEDKSP({k})"),
-            PathSelection::Llskr(c) => format!("LLSKR(s{},{}..{})", c.spread, c.min_paths, c.max_paths),
+            PathSelection::Llskr(c) => {
+                format!("LLSKR(s{},{}..{})", c.spread, c.min_paths, c.max_paths)
+            }
         }
     }
 
@@ -71,13 +73,7 @@ impl PathSelection {
     }
 
     /// Computes this scheme's paths for one ordered pair.
-    pub fn paths_for_pair(
-        &self,
-        graph: &Graph,
-        src: NodeId,
-        dst: NodeId,
-        seed: u64,
-    ) -> Vec<Path> {
+    pub fn paths_for_pair(&self, graph: &Graph, src: NodeId, dst: NodeId, seed: u64) -> Vec<Path> {
         let mut rng;
         let mut tiebreak = if self.is_randomized() {
             rng = StdRng::seed_from_u64(pair_seed(seed, src, dst));
@@ -88,9 +84,7 @@ impl PathSelection {
         match *self {
             PathSelection::SinglePath => {
                 let mask = Mask::new(graph);
-                shortest_path(graph, src, dst, &mask, &mut tiebreak)
-                    .into_iter()
-                    .collect()
+                shortest_path(graph, src, dst, &mask, &mut tiebreak).into_iter().collect()
             }
             PathSelection::Ksp(k) | PathSelection::RKsp(k) => {
                 k_shortest_paths(graph, src, dst, k, &mut tiebreak)
@@ -128,11 +122,7 @@ impl PairSet {
                 v
             }
             PairSet::Pairs(list) => {
-                let mut v: Vec<_> = list
-                    .iter()
-                    .copied()
-                    .filter(|(s, d)| s != d)
-                    .collect();
+                let mut v: Vec<_> = list.iter().copied().filter(|(s, d)| s != d).collect();
                 v.sort_unstable();
                 v.dedup();
                 v
@@ -227,12 +217,8 @@ impl PathTable {
     ///
     /// `seed` drives the randomized schemes; per-pair seeds are derived so
     /// the result is independent of the parallel schedule.
-    pub fn compute(
-        graph: &Graph,
-        selection: PathSelection,
-        pairs: &PairSet,
-        seed: u64,
-    ) -> Self {
+    pub fn compute(graph: &Graph, selection: PathSelection, pairs: &PairSet, seed: u64) -> Self {
+        let _span = jellyfish_obs::span("routing.table.compute");
         let n = graph.num_nodes();
         let storage = match pairs {
             PairSet::AllPairs => {
@@ -284,6 +270,7 @@ impl PathTable {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
 
+        let _span = jellyfish_obs::span("routing.table.all_pairs_shortest");
         let n = graph.num_nodes();
         let sets: Vec<PathSet> = (0..n as NodeId)
             .into_par_iter()
@@ -328,16 +315,10 @@ impl PathTable {
         n: usize,
         entries: impl Iterator<Item = ((NodeId, NodeId), &'p [Vec<NodeId>])>,
     ) -> Self {
-        let map: HashMap<u64, PathSet> = entries
-            .map(|((s, d), paths)| (pack(s, d), PathSet::from_paths(paths)))
-            .collect();
+        let map: HashMap<u64, PathSet> =
+            entries.map(|((s, d), paths)| (pack(s, d), PathSet::from_paths(paths))).collect();
         let max_hops = map.values().map(PathSet::max_hops).max().unwrap_or(0);
-        Self {
-            selection: PathSelection::SinglePath,
-            n,
-            storage: Storage::Sparse(map),
-            max_hops,
-        }
+        Self { selection: PathSelection::SinglePath, n, storage: Storage::Sparse(map), max_hops }
     }
 
     /// The scheme this table was computed with.
@@ -397,6 +378,7 @@ impl PathTable {
     /// `disconnected_pairs`. Call [`PathTable::repair`] afterwards to
     /// recompute routes for the affected pairs on the degraded fabric.
     pub fn apply_faults(&mut self, view: &DegradedGraph) -> FaultReport {
+        let _span = jellyfish_obs::span("routing.table.apply_faults");
         let mut report = FaultReport::default();
         let n = self.n;
         let mut mask_set = |key_s: NodeId, key_d: NodeId, ps: &mut PathSet| {
@@ -404,11 +386,8 @@ impl PathTable {
             if before == 0 {
                 return;
             }
-            let live: Vec<Path> = ps
-                .iter()
-                .filter(|p| view.path_is_live(p))
-                .map(|p| p.to_vec())
-                .collect();
+            let live: Vec<Path> =
+                ps.iter().filter(|p| view.path_is_live(p)).map(|p| p.to_vec()).collect();
             let after = live.len();
             if after < before {
                 *ps = PathSet::from_paths(&live);
@@ -456,11 +435,8 @@ impl PathTable {
     pub fn retain_max_hops(&mut self, limit: usize) {
         let mut trim = |ps: &mut PathSet| {
             if ps.max_hops() > limit {
-                let keep: Vec<Path> = ps
-                    .iter()
-                    .filter(|p| p.len() - 1 <= limit)
-                    .map(|p| p.to_vec())
-                    .collect();
+                let keep: Vec<Path> =
+                    ps.iter().filter(|p| p.len() - 1 <= limit).map(|p| p.to_vec()).collect();
                 *ps = PathSet::from_paths(&keep);
             }
         };
@@ -484,6 +460,7 @@ impl PathTable {
     /// end up with an empty path set. Returns the number of pairs that
     /// have at least one live path after repair.
     pub fn repair(&mut self, view: &DegradedGraph, pairs: &[(NodeId, NodeId)], seed: u64) -> usize {
+        let _span = jellyfish_obs::span("routing.table.repair");
         let degraded = view.materialize();
         let selection = self.selection;
         let recomputed: Vec<((NodeId, NodeId), PathSet)> = pairs
@@ -727,11 +704,7 @@ mod tests {
         assert!(report.paths_removed > 0, "an 8% cut should hit some path");
         assert_eq!(
             report.paths_removed,
-            report
-                .affected
-                .iter()
-                .map(|p| p.paths_before - p.paths_after)
-                .sum::<usize>()
+            report.affected.iter().map(|p| p.paths_before - p.paths_after).sum::<usize>()
         );
         // Survivors are live, untouched pairs keep their exact paths.
         let affected: std::collections::HashSet<(NodeId, NodeId)> =
@@ -788,10 +761,8 @@ mod tests {
         let plan = FaultPlan::random_links(&g, 0.2, 0, 4);
         let view = DegradedGraph::at_time(&g, &plan, 0);
         let report = t.apply_faults(&view);
-        let windows_sorted = report
-            .affected
-            .windows(2)
-            .all(|w| (w[0].src, w[0].dst) < (w[1].src, w[1].dst));
+        let windows_sorted =
+            report.affected.windows(2).all(|w| (w[0].src, w[0].dst) < (w[1].src, w[1].dst));
         assert!(windows_sorted, "report must be sorted for determinism");
         t.repair(&view, &report.affected_pairs(), 0);
         assert_eq!(t.num_pairs(), 4, "repair must not change pair coverage");

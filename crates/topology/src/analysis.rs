@@ -51,11 +51,7 @@ pub fn estimate_bisection(graph: &Graph, samples: usize, seed: u64) -> Bisection
         sum += refined;
         best = best.min(refined);
     }
-    BisectionEstimate {
-        min_cut_edges: best,
-        mean_cut_edges: sum as f64 / samples as f64,
-        samples,
-    }
+    BisectionEstimate { min_cut_edges: best, mean_cut_edges: sum as f64 / samples as f64, samples }
 }
 
 /// Greedy pairwise-swap refinement; returns the final cut size.
@@ -162,7 +158,8 @@ mod tests {
     fn bisection_of_cycle_is_two() {
         // A cycle's minimum bisection cuts exactly 2 edges; the refiner
         // must find it on a small instance.
-        let g = Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7)]);
+        let g =
+            Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7)]);
         let est = estimate_bisection(&g, 20, 1);
         assert_eq!(est.min_cut_edges, 2, "{est:?}");
         assert!(est.mean_cut_edges >= 2.0);

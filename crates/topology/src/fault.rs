@@ -267,11 +267,8 @@ impl<'g> DegradedGraph<'g> {
 
     /// Whether every consecutive hop of a node path is a live link.
     pub fn path_is_live(&self, path: &[NodeId]) -> bool {
-        path.windows(2).all(|w| {
-            self.graph
-                .link_id(w[0], w[1])
-                .is_some_and(|l| self.link_live[l as usize])
-        })
+        path.windows(2)
+            .all(|w| self.graph.link_id(w[0], w[1]).is_some_and(|l| self.link_live[l as usize]))
     }
 
     /// Whether the live portion of the fabric is still one connected
@@ -308,11 +305,7 @@ impl<'g> DegradedGraph<'g> {
     pub fn materialize(&self) -> Graph {
         let mut builder = GraphBuilder::new(self.graph.num_nodes());
         for (u, v) in self.graph.edges() {
-            if self
-                .graph
-                .link_id(u, v)
-                .is_some_and(|l| self.link_live[l as usize])
-            {
+            if self.graph.link_id(u, v).is_some_and(|l| self.link_live[l as usize]) {
                 builder.add_edge(u, v);
             }
         }

@@ -82,10 +82,7 @@ impl Graph {
     /// Directed link id for `u -> v`, if the edge exists.
     #[inline]
     pub fn link_id(&self, u: NodeId, v: NodeId) -> Option<LinkId> {
-        self.neighbors(u)
-            .binary_search(&v)
-            .ok()
-            .map(|pos| self.offsets[u as usize] + pos as u32)
+        self.neighbors(u).binary_search(&v).ok().map(|pos| self.offsets[u as usize] + pos as u32)
     }
 
     /// Source node of a directed link (the `u` in `u -> v`).
@@ -115,8 +112,7 @@ impl Graph {
     pub fn reverse_link(&self, link: LinkId) -> LinkId {
         let u = self.link_src(link);
         let v = self.link_dst(link);
-        self.link_id(v, u)
-            .expect("undirected graph must contain the reverse link")
+        self.link_id(v, u).expect("undirected graph must contain the reverse link")
     }
 
     /// Converts a node path `[a, b, c, ...]` into its directed link ids.
@@ -160,11 +156,7 @@ impl Graph {
     /// Iterates over all undirected edges as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         (0..self.num_nodes() as NodeId).flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .copied()
-                .filter(move |&v| u < v)
-                .map(move |v| (u, v))
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
         })
     }
 }
@@ -222,10 +214,7 @@ impl GraphBuilder {
             let hi = offsets[u + 1] as usize;
             let slice = &mut neighbors[lo..hi];
             slice.sort_unstable();
-            assert!(
-                slice.windows(2).all(|w| w[0] != w[1]),
-                "duplicate edge at node {u}"
-            );
+            assert!(slice.windows(2).all(|w| w[0] != w[1]), "duplicate edge at node {u}");
         }
         Graph { offsets, neighbors }
     }

@@ -35,7 +35,9 @@ pub mod graph;
 pub mod metrics;
 pub mod rrg;
 
-pub use analysis::{distance_histogram, estimate_bisection, to_dot, BisectionEstimate, DistanceHistogram};
+pub use analysis::{
+    distance_histogram, estimate_bisection, to_dot, BisectionEstimate, DistanceHistogram,
+};
 pub use fattree::{build_fat_tree, FatTreeParams};
 pub use fault::{read_plan, write_plan, DegradedGraph, FaultEvent, FaultKind, FaultPlan};
 pub use graph::{Graph, GraphBuilder, LinkId, NodeId};

@@ -253,12 +253,7 @@ fn incremental(params: &RrgParams, rng: &mut StdRng) -> Option<Adj> {
         for (u, nbrs) in adj.iter().enumerate() {
             let u = u as NodeId;
             for &v in nbrs {
-                if u < v
-                    && u != p
-                    && v != p
-                    && !connected(&adj, p, u)
-                    && !connected(&adj, p, v)
-                {
+                if u < v && u != p && v != p && !connected(&adj, p, u) && !connected(&adj, p, v) {
                     edges.push((u, v));
                 }
             }
@@ -330,9 +325,7 @@ fn pairing(params: &RrgParams, rng: &mut StdRng) -> Option<Adj> {
         }
         return Some(adj);
     }
-    let mut stubs: Vec<NodeId> = (0..n as NodeId)
-        .flat_map(|u| std::iter::repeat_n(u, y))
-        .collect();
+    let mut stubs: Vec<NodeId> = (0..n as NodeId).flat_map(|u| std::iter::repeat_n(u, y)).collect();
     stubs.shuffle(rng);
     let mut adj: Adj = vec![Vec::with_capacity(y); n];
     // Pair consecutive stubs; collect conflicting pairs for repair.
@@ -359,9 +352,8 @@ fn pairing(params: &RrgParams, rng: &mut StdRng) -> Option<Adj> {
         if adj[a as usize].is_empty() {
             continue;
         }
-        let b = *adj[a as usize]
-            .get(rng.random_range(0..adj[a as usize].len()))
-            .expect("non-empty");
+        let b =
+            *adj[a as usize].get(rng.random_range(0..adj[a as usize].len())).expect("non-empty");
         // Rewire (u, v), (a, b) -> (u, a), (v, b).
         if u == a || u == b || v == a || v == b {
             continue;

@@ -8,8 +8,8 @@ use std::collections::HashSet;
 /// Strategy: a random simple edge list over up to 24 nodes.
 fn edge_list() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (2usize..24).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..60).prop_map(
-            move |raw| {
+        let edges =
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..60).prop_map(move |raw| {
                 let mut seen = HashSet::new();
                 let mut out = Vec::new();
                 for (a, b) in raw {
@@ -22,8 +22,7 @@ fn edge_list() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
                     }
                 }
                 out
-            },
-        );
+            });
         (Just(n), edges)
     })
 }

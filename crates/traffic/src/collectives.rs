@@ -63,15 +63,11 @@ impl Collective {
             Collective::RingAllReduce | Collective::RingAllGather => {
                 // Each phase: rank i sends a 1/n chunk to rank i+1.
                 let chunk = message_bytes.div_ceil(ranks as u64);
-                (0..n)
-                    .map(|i| FlowSpec { src: i, dst: (i + 1) % n, bytes: chunk })
-                    .collect()
+                (0..n).map(|i| FlowSpec { src: i, dst: (i + 1) % n, bytes: chunk }).collect()
             }
             Collective::RecursiveDoublingAllReduce => {
                 let stride = 1u32 << phase;
-                (0..n)
-                    .map(|i| FlowSpec { src: i, dst: i ^ stride, bytes: message_bytes })
-                    .collect()
+                (0..n).map(|i| FlowSpec { src: i, dst: i ^ stride, bytes: message_bytes }).collect()
             }
         }
     }
@@ -112,12 +108,8 @@ impl Collective {
             Collective::RingAllReduce => {
                 2 * (ranks as u64 - 1) * message_bytes.div_ceil(ranks as u64)
             }
-            Collective::RecursiveDoublingAllReduce => {
-                self.num_phases(ranks) as u64 * message_bytes
-            }
-            Collective::RingAllGather => {
-                (ranks as u64 - 1) * message_bytes.div_ceil(ranks as u64)
-            }
+            Collective::RecursiveDoublingAllReduce => self.num_phases(ranks) as u64 * message_bytes,
+            Collective::RingAllGather => (ranks as u64 - 1) * message_bytes.div_ceil(ranks as u64),
         }
     }
 }
@@ -155,8 +147,7 @@ mod tests {
 
     #[test]
     fn recursive_doubling_partners_are_symmetric() {
-        let phases =
-            Collective::RecursiveDoublingAllReduce.phases(8, 4096, Mapping::Linear, 8);
+        let phases = Collective::RecursiveDoublingAllReduce.phases(8, 4096, Mapping::Linear, 8);
         for (p, t) in phases.iter().enumerate() {
             for f in &t.flows {
                 assert_eq!(f.src ^ f.dst, 1 << p, "phase {p}: {f:?}");
@@ -169,8 +160,7 @@ mod tests {
 
     #[test]
     fn mapping_is_applied() {
-        let phases =
-            Collective::RingAllGather.phases(4, 4000, Mapping::Random { seed: 1 }, 16);
+        let phases = Collective::RingAllGather.phases(4, 4000, Mapping::Random { seed: 1 }, 16);
         let lin = Collective::RingAllGather.phases(4, 4000, Mapping::Linear, 16);
         assert_ne!(phases[0].flows, lin[0].flows);
         // All hosts must be < 16 and distinct per phase endpoints.

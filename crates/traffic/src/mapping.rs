@@ -35,10 +35,7 @@ impl Mapping {
     /// # Panics
     /// Panics if there are more ranks than hosts.
     pub fn assign(&self, num_ranks: usize, num_hosts: usize) -> Vec<u32> {
-        assert!(
-            num_ranks <= num_hosts,
-            "cannot place {num_ranks} ranks on {num_hosts} hosts"
-        );
+        assert!(num_ranks <= num_hosts, "cannot place {num_ranks} ranks on {num_hosts} hosts");
         match self {
             Mapping::Linear => (0..num_ranks as u32).collect(),
             Mapping::Random { seed } => {

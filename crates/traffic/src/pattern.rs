@@ -53,10 +53,7 @@ pub fn random_shift(num_hosts: usize, rng: &mut StdRng) -> Vec<Flow> {
 
 /// Random(X): every host sends to `x` distinct random other hosts.
 pub fn random_x(num_hosts: usize, x: usize, rng: &mut StdRng) -> Vec<Flow> {
-    assert!(
-        x < num_hosts,
-        "Random(X) needs X < number of hosts ({x} >= {num_hosts})"
-    );
+    assert!(x < num_hosts, "Random(X) needs X < number of hosts ({x} >= {num_hosts})");
     let mut flows = Vec::with_capacity(num_hosts * x);
     let mut chosen = vec![u32::MAX; num_hosts]; // generation-stamped marker
     for src in 0..num_hosts as u32 {

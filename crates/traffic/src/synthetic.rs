@@ -66,11 +66,7 @@ impl SyntheticPattern {
     /// Panics if the pattern does not support `num_hosts` (check with
     /// [`SyntheticPattern::supports`]).
     pub fn destination(&self, src: u32, num_hosts: usize) -> u32 {
-        assert!(
-            self.supports(num_hosts),
-            "{} undefined for {num_hosts} hosts",
-            self.name()
-        );
+        assert!(self.supports(num_hosts), "{} undefined for {num_hosts} hosts", self.name());
         let n = num_hosts as u32;
         match self {
             SyntheticPattern::BitComplement => n - 1 - src,

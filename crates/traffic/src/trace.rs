@@ -83,8 +83,7 @@ mod tests {
         let t = stencil_trace(&app, Mapping::Linear, 4_000, 32);
         // Rank 5's neighbors are ranks {1,4,6,9}; under linear mapping the
         // hosts coincide with ranks.
-        let dsts: Vec<u32> =
-            t.flows.iter().filter(|f| f.src == 5).map(|f| f.dst).collect();
+        let dsts: Vec<u32> = t.flows.iter().filter(|f| f.src == 5).map(|f| f.dst).collect();
         let mut sorted = dsts.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![1, 4, 6, 9]);

@@ -65,19 +65,17 @@ fn main() {
         while b == a {
             b = rng.random_range(0..ft.edge_switches()) as u32;
         }
-        ft_div += edge_disjoint_paths(&ft_graph, a, b, 8, &mut TieBreak::Randomized(&mut rng))
-            .len();
+        ft_div +=
+            edge_disjoint_paths(&ft_graph, a, b, 8, &mut TieBreak::Randomized(&mut rng)).len();
         let c = rng.random_range(0..jf_params.switches) as u32;
         let mut d = rng.random_range(0..jf_params.switches) as u32;
         while d == c {
             d = rng.random_range(0..jf_params.switches) as u32;
         }
-        jf_div += edge_disjoint_paths(jf.graph(), c, d, 8, &mut TieBreak::Randomized(&mut rng))
-            .len();
+        jf_div +=
+            edge_disjoint_paths(jf.graph(), c, d, 8, &mut TieBreak::Randomized(&mut rng)).len();
     }
-    println!(
-        "\nedge-disjoint paths between random host-bearing switch pairs (k = 8 requested):"
-    );
+    println!("\nedge-disjoint paths between random host-bearing switch pairs (k = 8 requested):");
     println!("  fat-tree:  {:.1} on average", ft_div as f64 / samples as f64);
     println!("  Jellyfish: {:.1} on average", jf_div as f64 / samples as f64);
     println!("\n(Jellyfish hosts more nodes from the same switches with shorter");

@@ -19,10 +19,20 @@ fn figure3_graph() -> Graph {
     Graph::from_edges(
         10,
         &[
-            (0, 1), (0, 2), (0, 3), // S1 -> A, B, C
-            (1, 6), (1, 4), (2, 4), (3, 5), // A-G, A-E, B-E, C-F
-            (4, 6), (4, 7), (5, 7), (5, 8), // E-G, E-H, F-H, F-I
-            (6, 9), (7, 9), (8, 9), // G, H, I -> D1
+            (0, 1),
+            (0, 2),
+            (0, 3), // S1 -> A, B, C
+            (1, 6),
+            (1, 4),
+            (2, 4),
+            (3, 5), // A-G, A-E, B-E, C-F
+            (4, 6),
+            (4, 7),
+            (5, 7),
+            (5, 8), // E-G, E-H, F-H, F-I
+            (6, 9),
+            (7, 9),
+            (8, 9), // G, H, I -> D1
         ],
     )
 }
@@ -62,10 +72,7 @@ fn main() {
 
     println!("\n== The same effect on a real RRG(36,24,16), all pairs, k = 8 ==");
     let net = JellyfishNetwork::build(RrgParams::small(), 5).unwrap();
-    println!(
-        "{:<12} {:>9} {:>11} {:>10}",
-        "selection", "avg hops", "% disjoint", "max share"
-    );
+    println!("{:<12} {:>9} {:>11} {:>10}", "selection", "avg hops", "% disjoint", "max share");
     for sel in [
         PathSelection::Ksp(8),
         PathSelection::RKsp(8),

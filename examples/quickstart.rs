@@ -53,14 +53,8 @@ fn main() {
     // Cycle-level simulation with the paper's KSP-adaptive mechanism at a
     // moderate load.
     let pattern = PacketDestinations::from_flows(params.num_hosts(), &flows);
-    let run = net.simulate(
-        &redksp,
-        None,
-        Mechanism::KspAdaptive,
-        &pattern,
-        0.3,
-        SimConfig::paper(),
-    );
+    let run =
+        net.simulate(&redksp, None, Mechanism::KspAdaptive, &pattern, 0.3, SimConfig::paper());
     println!(
         "flit-sim at 0.3 load (KSP-adaptive over rEDKSP): avg latency {:.1} cycles, accepted {:.3}, saturated: {}",
         run.avg_latency, run.accepted, run.saturated

@@ -23,9 +23,7 @@ fn main() {
     ];
     let sp = net.shortest_paths(true, 2);
 
-    println!(
-        "saturation throughput (packets/node/cycle), uniform random on RRG(36,24,16)\n"
-    );
+    println!("saturation throughput (packets/node/cycle), uniform random on RRG(36,24,16)\n");
     println!("{:<14} {:>10} {:>12}", "mechanism", "KSP(8)", "rEDKSP(8)");
     for mech in [
         Mechanism::SinglePath,

@@ -17,15 +17,10 @@ fn main() {
     let ranks = params.num_hosts();
     let app = StencilApp::for_ranks(StencilKind::Nn2d, ranks).expect("grid factorization");
     let [nx, ny, _] = app.dims();
-    println!(
-        "2DNN over a {nx} x {ny} process grid on RRG(144,24,19); 1.5 MB per rank\n"
-    );
+    println!("2DNN over a {nx} x {ny} process grid on RRG(144,24,19); 1.5 MB per rank\n");
 
     let bytes_per_rank = 1_500_000;
-    println!(
-        "{:<18} {:>12} {:>12} {:>12}",
-        "mapping", "KSP(8)", "rKSP(8)", "rEDKSP(8)"
-    );
+    println!("{:<18} {:>12} {:>12} {:>12}", "mapping", "KSP(8)", "rKSP(8)", "rEDKSP(8)");
     for mapping in [Mapping::Linear, Mapping::Random { seed: 99 }] {
         let trace = stencil_trace(&app, mapping, bytes_per_rank, ranks);
         print!("{:<18}", mapping.name());

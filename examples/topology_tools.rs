@@ -41,7 +41,11 @@ fn main() {
     let dot = to_dot(net.graph(), "jellyfish12");
     let dot_path = std::env::temp_dir().join("jellyfish12.dot");
     std::fs::write(&dot_path, &dot).expect("write dot file");
-    println!("\nwrote {} ({} edges) — render with `dot -Tpng`", dot_path.display(), net.graph().num_edges());
+    println!(
+        "\nwrote {} ({} edges) — render with `dot -Tpng`",
+        dot_path.display(),
+        net.graph().num_edges()
+    );
 
     // Cache an expensive path table and reload it.
     let table = net.paths(PathSelection::REdKsp(3), &PairSet::AllPairs, 5);

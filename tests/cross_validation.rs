@@ -22,11 +22,7 @@ fn flitsim_accepted_tracks_offered_below_saturation() {
     for rate in [0.05, 0.15, 0.25] {
         let r = net.simulate(&table, None, Mechanism::Random, &pattern, rate, SimConfig::paper());
         assert!(!r.saturated, "rate {rate} unexpectedly saturated");
-        assert!(
-            (r.accepted - rate).abs() < 0.02,
-            "accepted {} vs offered {rate}",
-            r.accepted
-        );
+        assert!((r.accepted - rate).abs() < 0.02, "accepted {} vs offered {rate}", r.accepted);
     }
 }
 

@@ -21,8 +21,7 @@ fn path_quality_ordering_holds() {
     let ksp = net.path_properties(&net.paths(PathSelection::Ksp(8), &PairSet::AllPairs, 1));
     let rksp = net.path_properties(&net.paths(PathSelection::RKsp(8), &PairSet::AllPairs, 1));
     let edksp = net.path_properties(&net.paths(PathSelection::EdKsp(8), &PairSet::AllPairs, 1));
-    let redksp =
-        net.path_properties(&net.paths(PathSelection::REdKsp(8), &PairSet::AllPairs, 1));
+    let redksp = net.path_properties(&net.paths(PathSelection::REdKsp(8), &PairSet::AllPairs, 1));
 
     // Table III ordering: disjointness KSP <= rKSP << EDKSP == rEDKSP == 1.
     assert!(ksp.disjoint_pair_fraction <= rksp.disjoint_pair_fraction + 0.05);
@@ -84,10 +83,7 @@ fn flitsim_saturation_ordering() {
         0.05,
         SimConfig::paper(),
     );
-    assert!(
-        strong >= weak,
-        "KSP-adaptive/rEDKSP ({strong}) below random/KSP ({weak})"
-    );
+    assert!(strong >= weak, "KSP-adaptive/rEDKSP ({strong}) below random/KSP ({weak})");
     // And both far above single-path routing.
     let sp_table = net.paths(PathSelection::SinglePath, &PairSet::AllPairs, 1);
     let sp = net.saturation_throughput(
@@ -113,7 +109,8 @@ fn appsim_stencil_ordering() {
     let mut times = std::collections::HashMap::new();
     for sel in [PathSelection::Ksp(8), PathSelection::REdKsp(8)] {
         let table = net.paths(sel, &pairs, 2);
-        let r = net.simulate_trace(&table, AppMechanism::KspAdaptive, &trace, AppSimConfig::paper());
+        let r =
+            net.simulate_trace(&table, AppMechanism::KspAdaptive, &trace, AppSimConfig::paper());
         assert_eq!(r.delivered_packets, r.total_packets);
         times.insert(sel.name(), r.completion_time_s);
     }
@@ -131,7 +128,8 @@ fn whole_pipeline_is_deterministic() {
         let table = net.paths(PathSelection::REdKsp(8), &pairs, 9);
         let model = net.model_throughput(&table, &flows).mean;
         let pattern = PacketDestinations::from_flows(net.params().num_hosts(), &flows);
-        let sim = net.simulate(&table, None, Mechanism::KspAdaptive, &pattern, 0.25, SimConfig::paper());
+        let sim =
+            net.simulate(&table, None, Mechanism::KspAdaptive, &pattern, 0.25, SimConfig::paper());
         (model, sim)
     };
     let (m1, s1) = run();

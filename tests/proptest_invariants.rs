@@ -5,8 +5,8 @@
 //! checking the structural invariants the rest of the system relies on.
 
 use jellyfish_routing::{
-    edge_disjoint_paths, k_shortest_paths, shortest_path, Mask, PairSet, PathSelection,
-    PathTable, TieBreak,
+    edge_disjoint_paths, k_shortest_paths, shortest_path, Mask, PairSet, PathSelection, PathTable,
+    TieBreak,
 };
 use jellyfish_topology::{build_rrg, ConstructionMethod, RrgParams};
 use jellyfish_traffic::{random_permutation, random_x, shift, StencilApp, StencilKind};
@@ -17,15 +17,12 @@ use rand::SeedableRng;
 /// Parameter strategy: y-regular graphs that are valid and small enough
 /// to exercise quickly, with N*y even and y < N.
 fn rrg_params() -> impl Strategy<Value = (RrgParams, u64)> {
-    (4usize..24, 2usize..8, any::<u64>()).prop_filter_map(
-        "valid RRG parameters",
-        |(n, y, seed)| {
-            if y >= n || (n * y) % 2 != 0 {
-                return None;
-            }
-            Some((RrgParams::new(n, y + 2, y), seed))
-        },
-    )
+    (4usize..24, 2usize..8, any::<u64>()).prop_filter_map("valid RRG parameters", |(n, y, seed)| {
+        if y >= n || (n * y) % 2 != 0 {
+            return None;
+        }
+        Some((RrgParams::new(n, y + 2, y), seed))
+    })
 }
 
 proptest! {

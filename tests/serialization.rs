@@ -71,10 +71,12 @@ fn run_result_golden_fixture_parses_and_rewrites_identically() {
     // The fixture exercises the fault counters (dropped/rerouted) and a
     // NaN sample window. Byte-identical rewrite proves stability without
     // relying on NaN == NaN.
-    let text = include_str!("fixtures/runresult_v1.txt");
+    let text = include_str!("fixtures/runresult_v2.txt");
     let result = jellyfish_flitsim::read_result(text.as_bytes()).unwrap();
     assert_eq!(result.dropped, 17);
     assert_eq!(result.rerouted, 5);
+    assert_eq!(result.measured_cycles, 4000);
+    assert_eq!(result.p999_latency, 205);
     assert!(result.sample_latencies[2].is_nan());
     let mut buf = Vec::new();
     jellyfish_flitsim::write_result(&result, &mut buf).unwrap();

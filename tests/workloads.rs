@@ -25,12 +25,7 @@ fn synthetic_patterns_run_through_the_model() {
         let pairs = PairSet::Pairs(switch_pairs(&flows, net.params()));
         let table = net.paths(PathSelection::REdKsp(4), &pairs, 2);
         let r = net.model_throughput(&table, &flows);
-        assert!(
-            r.mean > 0.0 && r.mean <= 1.0 + 1e-9,
-            "{}: mean {}",
-            pattern.name(),
-            r.mean
-        );
+        assert!(r.mean > 0.0 && r.mean <= 1.0 + 1e-9, "{}: mean {}", pattern.name(), r.mean);
     }
 }
 
@@ -42,8 +37,7 @@ fn tornado_saturates_below_uniform_on_single_path() {
     let hosts = net.params().num_hosts();
     let table = net.paths(PathSelection::SinglePath, &PairSet::AllPairs, 0);
     let uniform = PacketDestinations::Uniform { num_hosts: hosts };
-    let tornado =
-        PacketDestinations::from_flows(hosts, &SyntheticPattern::Tornado.flows(hosts));
+    let tornado = PacketDestinations::from_flows(hosts, &SyntheticPattern::Tornado.flows(hosts));
     let sat_u = net.saturation_throughput(
         &table,
         None,
@@ -60,10 +54,7 @@ fn tornado_saturates_below_uniform_on_single_path() {
         0.05,
         SimConfig::paper(),
     );
-    assert!(
-        sat_t <= sat_u + 0.05,
-        "tornado {sat_t} should not beat uniform {sat_u} under SP"
-    );
+    assert!(sat_t <= sat_u + 0.05, "tornado {sat_t} should not beat uniform {sat_u} under SP");
 }
 
 #[test]
@@ -103,12 +94,8 @@ fn ksp_machinery_works_on_fat_trees() {
     // (all must climb through distinct aggregation switches).
     let ft = FatTreeParams::new(4);
     let g = build_fat_tree(ft).unwrap();
-    let table = PathTable::compute(
-        &g,
-        PathSelection::REdKsp(8),
-        &PairSet::Pairs(vec![(0, 2), (2, 0)]),
-        3,
-    );
+    let table =
+        PathTable::compute(&g, PathSelection::REdKsp(8), &PairSet::Pairs(vec![(0, 2), (2, 0)]), 3);
     let ps = table.get(0, 2).unwrap();
     assert_eq!(ps.len(), 2, "k/2 = 2 uplinks bound the disjoint paths");
     for p in ps.iter() {

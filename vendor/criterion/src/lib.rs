@@ -167,9 +167,7 @@ mod tests {
         group.measurement_time(Duration::from_millis(1)).warm_up_time(Duration::from_millis(1));
         group.sample_size(3);
         group.bench_function("plain", |b| b.iter(|| 1 + 1));
-        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
-            b.iter(|| x * 2)
-        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| b.iter(|| x * 2));
         group.finish();
     }
 

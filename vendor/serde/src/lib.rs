@@ -41,6 +41,7 @@ mod tests {
     }
 
     #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
     struct Tuple(u8, u16);
 
     fn assert_ser<T: Serialize>() {}

@@ -39,9 +39,7 @@ fn parse_item(input: TokenStream) -> Parsed {
     let keyword = loop {
         match &tokens[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // '#' + [group]
-            TokenTree::Ident(id)
-                if id.to_string() == "pub" =>
-            {
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
                 i += 1;
                 if let Some(TokenTree::Group(g)) = tokens.get(i) {
                     if g.delimiter() == Delimiter::Parenthesis {
@@ -127,17 +125,10 @@ fn marker_impl(input: TokenStream, lifetimed: bool, trait_path: &str) -> TokenSt
         format!("<{}>", impl_params.join(", "))
     };
     let trait_args = if lifetimed { "<'de>" } else { "" };
-    let type_args = if args.is_empty() {
-        String::new()
-    } else {
-        format!("<{}>", args.join(", "))
-    };
-    format!(
-        "impl{impl_generics} {trait_path}{trait_args} for {}{type_args} {{}}",
-        parsed.name
-    )
-    .parse()
-    .expect("derive: generated impl must parse")
+    let type_args = if args.is_empty() { String::new() } else { format!("<{}>", args.join(", ")) };
+    format!("impl{impl_generics} {trait_path}{trait_args} for {}{type_args} {{}}", parsed.name)
+        .parse()
+        .expect("derive: generated impl must parse")
 }
 
 /// No-op `Serialize` derive: emits an empty marker impl.
