@@ -1,0 +1,77 @@
+//! Criterion benchmark for the content-addressed path-table cache:
+//! cold `load_or_compute` (compute + serialize + store) vs. warm hits
+//! from the on-disk store and the in-process LRU.
+//!
+//! The workload is the acceptance-criterion case: all-pairs rKSP(4) on
+//! an N=64 RRG. The headline number is the warm/cold ratio — a warm
+//! load must amortize to at least an order of magnitude cheaper than
+//! recomputation for the cache to pay for itself in sweep workloads.
+//! Results are summarized in `BENCH_path_cache.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jellyfish_routing::{PairSet, PathCache, PathSelection};
+use jellyfish_topology::{build_rrg, ConstructionMethod, Graph, RrgParams};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const SEL: PathSelection = PathSelection::RKsp(4);
+const SEED: u64 = 7;
+
+fn topo() -> Graph {
+    build_rrg(RrgParams::new(64, 11, 8), ConstructionMethod::Incremental, 1).unwrap()
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("jfptab-bench-{}-{tag}", std::process::id()))
+}
+
+fn bench_path_cache(c: &mut Criterion) {
+    let g = topo();
+    let mut group = c.benchmark_group("path_cache");
+    group.measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_millis(500));
+
+    // Cold: empty store every iteration, so each load computes the full
+    // all-pairs table, serializes it and writes it out.
+    group.sample_size(10);
+    group.bench_function("cold_compute_and_store", |b| {
+        let dir = bench_dir("cold");
+        b.iter(|| {
+            std::fs::remove_dir_all(&dir).ok();
+            let cache = PathCache::new(&dir).unwrap();
+            black_box(cache.load_or_compute(&g, SEL, &PairSet::AllPairs, SEED))
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    });
+
+    // Warm (disk): store populated once; a fresh PathCache per iteration
+    // has an empty LRU, so every load is a full read + verify + decode.
+    group.sample_size(60);
+    group.bench_function("warm_disk", |b| {
+        let dir = bench_dir("disk");
+        std::fs::remove_dir_all(&dir).ok();
+        PathCache::new(&dir).unwrap().load_or_compute(&g, SEL, &PairSet::AllPairs, SEED);
+        b.iter(|| {
+            let cache = PathCache::new(&dir).unwrap();
+            black_box(cache.load_or_compute(&g, SEL, &PairSet::AllPairs, SEED))
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    });
+
+    // Warm (memory): one long-lived PathCache; after the priming load
+    // every iteration is an LRU hit returning a shared Arc.
+    group.sample_size(100);
+    group.bench_function("warm_memory", |b| {
+        let dir = bench_dir("mem");
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = PathCache::new(&dir).unwrap();
+        cache.load_or_compute(&g, SEL, &PairSet::AllPairs, SEED);
+        b.iter(|| black_box(cache.load_or_compute(&g, SEL, &PairSet::AllPairs, SEED)));
+        std::fs::remove_dir_all(&dir).ok();
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_cache);
+criterion_main!(benches);

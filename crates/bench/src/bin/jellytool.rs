@@ -27,7 +27,18 @@
 //!     percentiles (p50/p90/p99/p999) always; the per-link utilization
 //!     heatmap and occupancy/credit-stall time series when built with
 //!     `--features obs`
+//!
+//! jellytool cache warm  --cache-dir DIR --switches N --ports X --net-ports Y
+//!                       [--seed S] [--selection NAME|all] [--k K]
+//! jellytool cache stats --cache-dir DIR
+//! jellytool cache clear --cache-dir DIR
+//!     manage the content-addressed path-table cache (`jellyfish-ptab v1`
+//!     files keyed on graph fingerprint, scheme, pair set and seed)
 //! ```
+//!
+//! `table`, `faults` and `stats` additionally accept `--cache-dir DIR`:
+//! path tables are then loaded from (and stored into) the cache instead
+//! of being recomputed. Results are bit-identical either way.
 //!
 //! Unknown flags are rejected (against a per-subcommand allowlist), as
 //! are duplicate flags and flag-like values: `--out --seed` is a missing
@@ -40,7 +51,7 @@ use jellyfish::topology::analysis::{distance_histogram, estimate_bisection, to_d
 use jellyfish::JellyfishNetwork;
 use jellyfish_bench::experiments::faults as faults_exp;
 use jellyfish_bench::Scale;
-use jellyfish_routing::{PairSet, PathTable};
+use jellyfish_routing::{PairSet, PathCache, PathTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -52,7 +63,9 @@ fn usage() -> ! {
          jellytool paths --switches N --ports X --net-ports Y --src A --dst B [--seed S] [--k K]\n  \
          jellytool table --switches N --ports X --net-ports Y --selection <sp|ksp|rksp|edksp|redksp> --out FILE [--seed S] [--k K]\n  \
          jellytool faults --switches N --ports X --net-ports Y [--seed S] [--fault-seed F] [--k K] [--mech <sp|random|rr|ugal|ksp-ugal|adaptive>] [--rates CSV] [--pattern perm|uniform] [--paper true] [--out FILE] [--metrics FILE]\n  \
-         jellytool stats --switches N --ports X --net-ports Y [--seed S] [--k K] [--selection NAME] [--mech NAME] [--rate R] [--pattern perm|uniform] [--paper true] [--stride C] [--out FILE] [--metrics FILE]"
+         jellytool stats --switches N --ports X --net-ports Y [--seed S] [--k K] [--selection NAME] [--mech NAME] [--rate R] [--pattern perm|uniform] [--paper true] [--stride C] [--out FILE] [--metrics FILE]\n  \
+         jellytool cache <warm|stats|clear> --cache-dir DIR [--switches N --ports X --net-ports Y] [--seed S] [--selection NAME|all] [--k K]\n\
+         (table/faults/stats also accept --cache-dir DIR to reuse cached path tables)"
     );
     std::process::exit(2);
 }
@@ -149,6 +162,20 @@ fn mechanism(name: &str) -> Mechanism {
     }
 }
 
+/// Installs the process-wide path-table cache if `--cache-dir DIR` was
+/// given; `JellyfishNetwork::paths` then loads/stores tables through it.
+fn install_cache(flags: &HashMap<String, String>) {
+    if let Some(dir) = flags.get("cache-dir") {
+        match PathCache::new(dir) {
+            Ok(cache) => jellyfish_routing::cache::install_global(cache),
+            Err(e) => {
+                eprintln!("cannot open cache dir {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 /// Dumps the global metrics registry (and resets it) as
 /// `jellyfish-metrics v1` text if `--metrics FILE` was given.
 fn dump_metrics(flags: &HashMap<String, String>) {
@@ -167,15 +194,40 @@ fn main() {
     match cmd.as_str() {
         "topo" => topo(&parse_flags(rest, &["dot"])),
         "paths" => paths(&parse_flags(rest, &["src", "dst", "k"])),
-        "table" => table(&parse_flags(rest, &["selection", "out", "k"])),
+        "table" => table(&parse_flags(rest, &["selection", "out", "k", "cache-dir"])),
         "faults" => faults(&parse_flags(
             rest,
-            &["fault-seed", "k", "mech", "rates", "pattern", "paper", "out", "metrics"],
+            &[
+                "fault-seed",
+                "k",
+                "mech",
+                "rates",
+                "pattern",
+                "paper",
+                "out",
+                "metrics",
+                "cache-dir",
+            ],
         )),
         "stats" => stats(&parse_flags(
             rest,
-            &["k", "selection", "mech", "rate", "pattern", "paper", "stride", "out", "metrics"],
+            &[
+                "k",
+                "selection",
+                "mech",
+                "rate",
+                "pattern",
+                "paper",
+                "stride",
+                "out",
+                "metrics",
+                "cache-dir",
+            ],
         )),
+        "cache" => {
+            let Some((action, rest)) = rest.split_first() else { usage() };
+            cache_cmd(action, &parse_flags(rest, &["cache-dir", "selection", "k"]));
+        }
         _ => usage(),
     }
 }
@@ -232,7 +284,73 @@ fn paths(flags: &HashMap<String, String>) {
     }
 }
 
+fn cache_cmd(action: &str, flags: &HashMap<String, String>) {
+    let dir = flags.get("cache-dir").unwrap_or_else(|| {
+        eprintln!("cache requires --cache-dir DIR");
+        usage()
+    });
+    let cache = PathCache::new(dir).unwrap_or_else(|e| {
+        eprintln!("cannot open cache dir {dir}: {e}");
+        std::process::exit(1);
+    });
+    match action {
+        "warm" => {
+            let (_, net, seed) = network(flags);
+            let k: usize = num(flags, "k").unwrap_or(8);
+            let sel_name = flags.get("selection").map(String::as_str).unwrap_or("redksp");
+            let sels = if sel_name == "all" {
+                vec![
+                    PathSelection::Ksp(k),
+                    PathSelection::RKsp(k),
+                    PathSelection::EdKsp(k),
+                    PathSelection::REdKsp(k),
+                ]
+            } else {
+                vec![selection(sel_name, k)]
+            };
+            for sel in sels {
+                let t0 = std::time::Instant::now();
+                let table = cache.load_or_compute(net.graph(), sel, &PairSet::AllPairs, seed);
+                println!(
+                    "warmed {} ({} pairs, max {} hops) in {:.1?}",
+                    sel.name(),
+                    table.num_pairs(),
+                    table.max_hops(),
+                    t0.elapsed()
+                );
+            }
+        }
+        "stats" => {
+            let s = cache.stats().expect("read cache dir");
+            println!("{dir}: {} file(s), {} bytes", s.files, s.bytes);
+            for entry in cache.manifest().expect("read cache dir") {
+                match entry.key {
+                    Ok(key) => println!(
+                        "  {}  {:>10} B  {} n={} seed={} {}",
+                        entry.file,
+                        entry.bytes,
+                        key.selection().map(|s| s.name()).unwrap_or_else(|| "?".into()),
+                        key.num_switches(),
+                        key.seed(),
+                        key.pairs_summary()
+                    ),
+                    Err(e) => println!("  {}  {:>10} B  INVALID: {e}", entry.file, entry.bytes),
+                }
+            }
+        }
+        "clear" => {
+            let removed = cache.clear().expect("clear cache dir");
+            println!("removed {removed} file(s) from {dir}");
+        }
+        other => {
+            eprintln!("unknown cache action {other:?} (use warm|stats|clear)");
+            usage()
+        }
+    }
+}
+
 fn faults(flags: &HashMap<String, String>) {
+    install_cache(flags);
     let params = RrgParams::new(
         required(flags, "switches"),
         required(flags, "ports"),
@@ -277,6 +395,7 @@ fn faults(flags: &HashMap<String, String>) {
 }
 
 fn table(flags: &HashMap<String, String>) {
+    install_cache(flags);
     let (_, net, seed) = network(flags);
     let k: usize = num(flags, "k").unwrap_or(8);
     let sel_name = flags.get("selection").map(String::as_str).unwrap_or_else(|| usage());
@@ -305,6 +424,7 @@ fn json_num(v: f64) -> String {
 }
 
 fn stats(flags: &HashMap<String, String>) {
+    install_cache(flags);
     let (params, net, seed) = network(flags);
     let k: usize = num(flags, "k").unwrap_or(8);
     let sel = selection(flags.get("selection").map(String::as_str).unwrap_or("redksp"), k);

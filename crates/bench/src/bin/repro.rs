@@ -22,6 +22,8 @@
 //!   --seed N        base RNG seed (default 2021)
 //!   --metrics FILE  dump timing spans and run counters collected during
 //!                   the experiment as jellyfish-metrics v1 text
+//!   --cache-dir DIR load/store path tables through the content-addressed
+//!                   cache (bit-identical results, much faster reruns)
 //! ```
 
 use jellyfish::prelude::{Mechanism, RrgParams};
@@ -36,7 +38,7 @@ fn usage() -> ! {
         "usage: repro <table1|table2|table3|table4|properties|fig4..fig13|table5|table6|\
          collectives|ablation-k|ablation-llskr|ablation-construction|ablation-ugal-bias|\
          ablation-estimate|ablation-flits|ablation-injection|ablations|faults|all> [--paper] \
-         [--seed N] [--metrics FILE]"
+         [--seed N] [--metrics FILE] [--cache-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -59,6 +61,19 @@ fn main() {
                     usage();
                 }
                 metrics = Some(path);
+            }
+            "--cache-dir" => {
+                let dir = args.next().unwrap_or_else(|| usage());
+                if dir.starts_with("--") {
+                    usage();
+                }
+                match jellyfish_routing::PathCache::new(&dir) {
+                    Ok(cache) => jellyfish_routing::cache::install_global(cache),
+                    Err(e) => {
+                        eprintln!("cannot open cache dir {dir}: {e}");
+                        std::process::exit(1);
+                    }
+                }
             }
             _ => usage(),
         }

@@ -109,8 +109,12 @@ impl JellyfishNetwork {
     }
 
     /// Computes a path table for a selection scheme over a pair set.
+    ///
+    /// Consults the process-wide [`jellyfish_routing::cache::PathCache`]
+    /// when one is installed (see `jellytool --cache-dir`); the result is
+    /// identical to a direct [`PathTable::compute`] either way.
     pub fn paths(&self, selection: PathSelection, pairs: &PairSet, seed: u64) -> PathTable {
-        PathTable::compute(&self.graph, selection, pairs, seed)
+        jellyfish_routing::cache::load_or_compute_global(&self.graph, selection, pairs, seed)
     }
 
     /// All-pairs single-shortest-path table (fast per-source BFS); used as

@@ -33,6 +33,8 @@ pub mod observe;
 pub mod sim;
 pub mod stats;
 pub mod sweep;
+#[doc(hidden)]
+pub mod test_util;
 
 pub use config::SimConfig;
 pub use mechanism::Mechanism;

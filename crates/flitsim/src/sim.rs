@@ -979,14 +979,18 @@ impl<'a> Simulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_util;
     use jellyfish_routing::{PairSet, PathSelection};
-    use jellyfish_topology::{build_rrg, ConstructionMethod};
     use jellyfish_traffic::{random_permutation, switch_pairs, PacketDestinations};
+    use std::sync::Arc;
 
-    fn setup() -> (Graph, RrgParams) {
+    fn setup() -> (Arc<Graph>, RrgParams) {
         let p = RrgParams::new(12, 6, 4);
-        let g = build_rrg(p, ConstructionMethod::Incremental, 21).unwrap();
-        (g, p)
+        (test_util::graph(p, 21), p)
+    }
+
+    fn table(p: RrgParams, sel: PathSelection) -> Arc<PathTable> {
+        test_util::all_pairs_table(p, 21, sel, 0)
     }
 
     fn uniform(p: &RrgParams) -> PacketDestinations {
@@ -996,7 +1000,7 @@ mod tests {
     #[test]
     fn zero_rate_runs_empty() {
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::Ksp(4), &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::Ksp(4));
         let mut sim = Simulator::new(
             &g,
             p,
@@ -1017,7 +1021,7 @@ mod tests {
     #[test]
     fn low_load_delivers_everything_with_low_latency() {
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::REdKsp(4));
         let mut sim = Simulator::new(
             &g,
             p,
@@ -1045,8 +1049,8 @@ mod tests {
     #[test]
     fn all_mechanisms_run_and_deliver() {
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
-        let sp = PathTable::compute(&g, PathSelection::SinglePath, &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::REdKsp(4));
+        let sp = table(p, PathSelection::SinglePath);
         for mech in [
             Mechanism::SinglePath,
             Mechanism::Random,
@@ -1072,7 +1076,7 @@ mod tests {
         // All traffic on single shortest paths at full injection must
         // saturate this small network.
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::SinglePath, &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::SinglePath);
         let mut sim = Simulator::new(
             &g,
             p,
@@ -1114,7 +1118,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::REdKsp(4));
         let run = || {
             let mut sim = Simulator::new(
                 &g,
@@ -1139,7 +1143,7 @@ mod tests {
         // generated and eventual drain: run, then drain with rate 0 by
         // constructing a long tail via low rate.
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::Ksp(4), &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::Ksp(4));
         let mut cfg = SimConfig::paper();
         cfg.warmup_cycles = 0;
         cfg.num_samples = 20; // long run at low load: everything drains
@@ -1153,7 +1157,7 @@ mod tests {
     #[should_panic(expected = "vanilla UGAL needs")]
     fn vanilla_ugal_requires_sp_table() {
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::Ksp(4), &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::Ksp(4));
         let _ = Simulator::new(
             &g,
             p,
@@ -1169,7 +1173,7 @@ mod tests {
     #[test]
     fn extended_stats_are_consistent() {
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::REdKsp(4));
         let mut sim = Simulator::new(
             &g,
             p,
@@ -1195,7 +1199,7 @@ mod tests {
     #[test]
     fn periodic_injection_matches_offered_rate() {
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::REdKsp(4));
         let mut cfg = SimConfig::paper();
         cfg.injection = crate::config::InjectionProcess::Periodic;
         let mut sim = Simulator::new(&g, p, &t, None, Mechanism::Random, uniform(&p), 0.25, cfg);
@@ -1216,7 +1220,7 @@ mod tests {
         // With a huge MIN bias KSP-UGAL degenerates to single-path
         // routing: mean hop count must not exceed the unbiased variant's.
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::Ksp(4), &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::Ksp(4));
         let mean_hops = |bias: i64| {
             let mut cfg = SimConfig::paper();
             cfg.ugal_bias = bias;
@@ -1243,7 +1247,7 @@ mod tests {
         // a load sustainable at F = 1 saturates at F = 4; and zero-load
         // latency grows by the extra serialization.
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::REdKsp(4));
         let run = |flits: u16, rate: f64| {
             let mut cfg = SimConfig::paper();
             cfg.packet_flits = flits;
@@ -1272,7 +1276,7 @@ mod tests {
     #[test]
     fn multiflit_conserves_packets_at_low_load() {
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::Ksp(4), &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::Ksp(4));
         let mut cfg = SimConfig::paper();
         cfg.packet_flits = 3;
         let mut sim =
@@ -1286,8 +1290,8 @@ mod tests {
     #[test]
     fn vc_count_covers_ugal_paths() {
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::Ksp(4), &PairSet::AllPairs, 0);
-        let sp = PathTable::compute(&g, PathSelection::SinglePath, &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::Ksp(4));
+        let sp = table(p, PathSelection::SinglePath);
         let sim = Simulator::new(
             &g,
             p,
@@ -1304,7 +1308,7 @@ mod tests {
     #[test]
     fn empty_fault_plan_is_a_noop_on_fault_counters() {
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::RKsp(4), &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::RKsp(4));
         let plan = FaultPlan::new();
         let mut sim = Simulator::new(
             &g,
@@ -1327,7 +1331,7 @@ mod tests {
     #[test]
     fn fault_plan_reserves_vc_headroom() {
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::Ksp(4), &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::Ksp(4));
         let base = Simulator::new(
             &g,
             p,
@@ -1347,7 +1351,7 @@ mod tests {
     #[test]
     fn midrun_link_failures_conserve_packets_and_stay_deterministic() {
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::RKsp(4), &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::RKsp(4));
         // Cut ~20% of the fabric mid-run so in-flight traffic must
         // reroute (or drop) around the holes.
         let plan = FaultPlan::random_links(&g, 0.2, 100, 7);
@@ -1376,7 +1380,7 @@ mod tests {
     #[test]
     fn switch_failure_kills_its_hosts_but_not_the_fabric() {
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::RKsp(4), &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::RKsp(4));
         let mut plan = FaultPlan::new();
         plan.add_switch_failure(0, 3);
         let mut cfg = SimConfig::paper();
@@ -1397,7 +1401,7 @@ mod tests {
         // involving switch 0 keep zero surviving paths, so their traffic
         // is dropped at the source while the rest of the fabric delivers.
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::RKsp(4), &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::RKsp(4));
         let mut plan = FaultPlan::new();
         for (u, v) in g.edges() {
             if u == 0 || v == 0 {
@@ -1418,8 +1422,8 @@ mod tests {
     #[test]
     fn fault_runs_with_adaptive_mechanisms_deliver() {
         let (g, p) = setup();
-        let t = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
-        let sp = PathTable::compute(&g, PathSelection::SinglePath, &PairSet::AllPairs, 0);
+        let t = table(p, PathSelection::REdKsp(4));
+        let sp = table(p, PathSelection::SinglePath);
         let plan = FaultPlan::random_links(&g, 0.1, 50, 11);
         for mech in [Mechanism::KspAdaptive, Mechanism::KspUgal, Mechanism::VanillaUgal] {
             let mut sim =

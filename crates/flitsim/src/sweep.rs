@@ -123,18 +123,23 @@ pub fn latency_curve(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jellyfish_routing::{PairSet, PathSelection};
-    use jellyfish_topology::{build_rrg, ConstructionMethod};
+    use crate::test_util;
+    use jellyfish_routing::PathSelection;
+    use std::sync::Arc;
 
-    fn setup() -> (Graph, RrgParams) {
+    fn setup() -> (Arc<Graph>, RrgParams) {
         let p = RrgParams::new(10, 6, 4);
-        (build_rrg(p, ConstructionMethod::Incremental, 33).unwrap(), p)
+        (test_util::graph(p, 33), p)
+    }
+
+    fn table(p: RrgParams, sel: PathSelection) -> Arc<PathTable> {
+        test_util::all_pairs_table(p, 33, sel, 0)
     }
 
     #[test]
     fn saturation_throughput_is_meaningful() {
         let (g, p) = setup();
-        let table = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
+        let table = table(p, PathSelection::REdKsp(4));
         let cfg = SweepConfig {
             graph: &g,
             params: p,
@@ -158,7 +163,7 @@ mod tests {
     #[test]
     fn run_at_is_deterministic_and_matches_simulator() {
         let (g, p) = setup();
-        let table = PathTable::compute(&g, PathSelection::RKsp(4), &PairSet::AllPairs, 0);
+        let table = table(p, PathSelection::RKsp(4));
         let cfg = SweepConfig {
             graph: &g,
             params: p,
@@ -178,7 +183,7 @@ mod tests {
     #[test]
     fn mean_saturation_averages_instances() {
         let (g, p) = setup();
-        let table = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
+        let table = table(p, PathSelection::REdKsp(4));
         let cfg = SweepConfig {
             graph: &g,
             params: p,
@@ -200,7 +205,7 @@ mod tests {
     #[should_panic(expected = "bad resolution")]
     fn zero_resolution_rejected() {
         let (g, p) = setup();
-        let table = PathTable::compute(&g, PathSelection::RKsp(2), &PairSet::AllPairs, 0);
+        let table = table(p, PathSelection::RKsp(2));
         let cfg = SweepConfig {
             graph: &g,
             params: p,
@@ -217,7 +222,7 @@ mod tests {
     #[test]
     fn latency_curve_is_ordered_and_monotone_ish() {
         let (g, p) = setup();
-        let table = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, 0);
+        let table = table(p, PathSelection::REdKsp(4));
         let cfg = SweepConfig {
             graph: &g,
             params: p,

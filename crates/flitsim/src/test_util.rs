@@ -1,0 +1,59 @@
+//! Shared, memoized test fixtures (not part of the public API).
+//!
+//! The flitsim test suites repeatedly build the same small RRGs and
+//! all-pairs path tables — previously each test recomputed its own,
+//! which dominated tier-1 wall time. This module memoizes both by value
+//! key, so each distinct `(params, seed)` graph and each distinct
+//! `(graph, selection, seed)` table is computed once per test binary and
+//! shared via [`Arc`].
+//!
+//! Exposed `#[doc(hidden)]` so integration tests (`tests/*.rs`) and unit
+//! tests can both use it; it is not a supported interface.
+
+use jellyfish_routing::{PairSet, PathSelection, PathTable};
+use jellyfish_topology::{build_rrg, ConstructionMethod, Graph, RrgParams};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+type GraphKey = (usize, usize, usize, u64);
+type GraphMemo = Mutex<HashMap<GraphKey, Arc<Graph>>>;
+type TableMemo = Mutex<HashMap<(GraphKey, String, u64), Arc<PathTable>>>;
+
+fn graph_memo() -> &'static GraphMemo {
+    static MEMO: OnceLock<GraphMemo> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn table_memo() -> &'static TableMemo {
+    static MEMO: OnceLock<TableMemo> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn graph_key(params: RrgParams, seed: u64) -> GraphKey {
+    (params.switches, params.ports, params.network_ports, seed)
+}
+
+/// Memoized incremental-construction RRG for `(params, seed)`.
+pub fn graph(params: RrgParams, seed: u64) -> Arc<Graph> {
+    let key = graph_key(params, seed);
+    let mut memo = graph_memo().lock().expect("graph memo poisoned");
+    Arc::clone(memo.entry(key).or_insert_with(|| {
+        Arc::new(build_rrg(params, ConstructionMethod::Incremental, seed).expect("valid params"))
+    }))
+}
+
+/// Memoized all-pairs [`PathTable`] for `selection` on the memoized graph
+/// of `(params, topo_seed)`.
+pub fn all_pairs_table(
+    params: RrgParams,
+    topo_seed: u64,
+    selection: PathSelection,
+    table_seed: u64,
+) -> Arc<PathTable> {
+    let g = graph(params, topo_seed);
+    let key = (graph_key(params, topo_seed), format!("{selection:?}"), table_seed);
+    let mut memo = table_memo().lock().expect("table memo poisoned");
+    Arc::clone(memo.entry(key).or_insert_with(|| {
+        Arc::new(PathTable::compute(&g, selection, &PairSet::AllPairs, table_seed))
+    }))
+}

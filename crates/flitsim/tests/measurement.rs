@@ -4,16 +4,18 @@
 //! `sample_latencies`, and `read_result` must reject corrupt files
 //! with duplicated lines.
 
+use jellyfish_flitsim::test_util;
 use jellyfish_flitsim::{read_result, write_result, Mechanism, SimConfig, Simulator};
-use jellyfish_routing::{PairSet, PathSelection, PathTable};
-use jellyfish_topology::{build_rrg, ConstructionMethod, RrgParams};
+use jellyfish_routing::{PathSelection, PathTable};
+use jellyfish_topology::{Graph, RrgParams};
 use jellyfish_traffic::PacketDestinations;
 use proptest::prelude::*;
+use std::sync::Arc;
 
-fn setup(seed: u64) -> (jellyfish_topology::Graph, RrgParams, PathTable) {
+fn setup(seed: u64) -> (Arc<Graph>, RrgParams, Arc<PathTable>) {
     let params = RrgParams::new(10, 6, 4);
-    let g = build_rrg(params, ConstructionMethod::Incremental, seed).unwrap();
-    let table = PathTable::compute(&g, PathSelection::REdKsp(4), &PairSet::AllPairs, seed);
+    let g = test_util::graph(params, seed);
+    let table = test_util::all_pairs_table(params, seed, PathSelection::REdKsp(4), seed);
     (g, params, table)
 }
 

@@ -1,9 +1,10 @@
 //! Property-based tests for the cycle-level simulator: conservation and
 //! sanity invariants over randomized small configurations.
 
+use jellyfish_flitsim::test_util;
 use jellyfish_flitsim::{Mechanism, SimConfig, Simulator};
-use jellyfish_routing::{PairSet, PathSelection, PathTable};
-use jellyfish_topology::{build_rrg, ConstructionMethod, RrgParams};
+use jellyfish_routing::PathSelection;
+use jellyfish_topology::RrgParams;
 use jellyfish_traffic::PacketDestinations;
 use proptest::prelude::*;
 
@@ -29,8 +30,8 @@ proptest! {
         k in 1usize..5,
     ) {
         let params = RrgParams::new(10, 6, 4);
-        let g = build_rrg(params, ConstructionMethod::Incremental, seed % 16).unwrap();
-        let table = PathTable::compute(&g, PathSelection::REdKsp(k), &PairSet::AllPairs, seed);
+        let g = test_util::graph(params, seed % 16);
+        let table = test_util::all_pairs_table(params, seed % 16, PathSelection::REdKsp(k), seed);
         let mut cfg = SimConfig::paper();
         cfg.num_samples = 3;
         cfg.seed = seed;
@@ -64,9 +65,8 @@ proptest! {
     #[test]
     fn low_load_never_saturates(seed in any::<u64>(), mech in mechanisms()) {
         let params = RrgParams::new(10, 6, 4);
-        let g = build_rrg(params, ConstructionMethod::Incremental, seed % 16).unwrap();
-        let table =
-            PathTable::compute(&g, PathSelection::RKsp(3), &PairSet::AllPairs, seed);
+        let g = test_util::graph(params, seed % 16);
+        let table = test_util::all_pairs_table(params, seed % 16, PathSelection::RKsp(3), seed);
         let mut cfg = SimConfig::paper();
         cfg.num_samples = 3;
         cfg.seed = seed;

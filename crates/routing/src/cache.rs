@@ -1,0 +1,850 @@
+//! Content-addressed on-disk cache for computed [`PathTable`]s.
+//!
+//! Path-table computation dominates experiment start-up: an all-pairs
+//! rKSP(4) table on a 64-switch RRG runs tens of thousands of Yen's
+//! searches. The result, however, is a pure function of four inputs — the
+//! graph (captured by [`Graph::fingerprint`]), the [`PathSelection`], the
+//! [`PairSet`] and the table seed. This module keys a binary cache on
+//! exactly that tuple, so re-running an experiment with unchanged inputs
+//! loads the table instead of recomputing it.
+//!
+//! # The `jellyfish-ptab v1` format
+//!
+//! Little-endian throughout:
+//!
+//! ```text
+//! magic    [u8; 8]  = b"JFPTAB\r\n"   (the \r\n catches text-mode mangling)
+//! version  u32      = 1
+//! key block:
+//!   fingerprint u64   graph CSR fingerprint
+//!   n           u64   switch count
+//!   seed        u64   table seed
+//!   sel_tag     u8    0=SP 1=KSP 2=rKSP 3=EDKSP 4=rEDKSP 5=LLSKR
+//!   sel params  3×u64 (k, 0, 0) or (spread, min_paths, max_paths)
+//!   pair_tag    u8    0=all ordered pairs (dense), 1=explicit list
+//!   pair_count  u64
+//!   pairs_digest u64  FNV-1a of the materialized pair list (0 for all-pairs)
+//! body:
+//!   entry_count u64
+//!   entries sorted ascending by (s, d), each:
+//!     s u32, d u32, path_count u32,
+//!     then per path: len u32, nodes u32 × len
+//! footer:
+//!   checksum u64      FNV-1a over every preceding byte
+//! ```
+//!
+//! Readers verify the checksum before parsing, validate every node id and
+//! path endpoint, and return a [`CacheError`] — never panic — on
+//! truncated, corrupted or version-skewed input. Entries are written
+//! sorted, so a table serializes to identical bytes regardless of how many
+//! threads computed it (the determinism tests in `tests/` pin this down).
+//!
+//! # Invalidation
+//!
+//! There is none, by construction: the file name is derived from the key
+//! block, so any change to the graph, scheme, pair set or seed addresses a
+//! different file. Stale files are merely unused; `jellytool cache clear`
+//! removes them.
+
+use crate::table::{PairSet, PathSelection, PathTable};
+use crate::LlskrConfig;
+use jellyfish_topology::{Graph, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+const MAGIC: [u8; 8] = *b"JFPTAB\r\n";
+const VERSION: u32 = 1;
+
+/// Why a cache file was rejected or could not be produced.
+#[derive(Debug)]
+pub enum CacheError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file does not start with the `jellyfish-ptab` magic.
+    BadMagic,
+    /// The file uses an unsupported format version.
+    BadVersion(u32),
+    /// The file ends before the declared content does.
+    Truncated,
+    /// The trailing checksum does not match the content.
+    BadChecksum,
+    /// The content is structurally invalid (bad ids, unsorted entries…).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Io(e) => write!(f, "i/o error: {e}"),
+            CacheError::BadMagic => write!(f, "not a jellyfish-ptab file (bad magic)"),
+            CacheError::BadVersion(v) => {
+                write!(f, "unsupported jellyfish-ptab version {v} (expected {VERSION})")
+            }
+            CacheError::Truncated => write!(f, "truncated jellyfish-ptab file"),
+            CacheError::BadChecksum => write!(f, "jellyfish-ptab checksum mismatch"),
+            CacheError::Corrupt(what) => write!(f, "corrupt jellyfish-ptab file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<io::Error> for CacheError {
+    fn from(e: io::Error) -> Self {
+        CacheError::Io(e)
+    }
+}
+
+/// 64-bit FNV-1a over a byte slice (same constants as
+/// [`Graph::fingerprint`]).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The content-address of one cached table: every input that determines
+/// the table's bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    fingerprint: u64,
+    n: u64,
+    seed: u64,
+    sel_tag: u8,
+    sel_params: [u64; 3],
+    pair_tag: u8,
+    pair_count: u64,
+    pairs_digest: u64,
+}
+
+impl CacheKey {
+    /// Derives the key for computing `selection` over `pairs` on `graph`
+    /// with `seed`.
+    pub fn new(graph: &Graph, selection: PathSelection, pairs: &PairSet, seed: u64) -> Self {
+        let (sel_tag, sel_params) = encode_selection(selection);
+        let n = graph.num_nodes();
+        let (pair_tag, pair_count, pairs_digest) = match pairs {
+            PairSet::AllPairs => (0u8, (n * n.saturating_sub(1)) as u64, 0u64),
+            PairSet::Pairs(_) => {
+                let list = pairs.materialize(n);
+                let mut bytes = Vec::with_capacity(list.len() * 8);
+                for &(s, d) in &list {
+                    bytes.extend_from_slice(&s.to_le_bytes());
+                    bytes.extend_from_slice(&d.to_le_bytes());
+                }
+                (1u8, list.len() as u64, fnv1a(&bytes))
+            }
+        };
+        Self {
+            fingerprint: graph.fingerprint(),
+            n: n as u64,
+            seed,
+            sel_tag,
+            sel_params,
+            pair_tag,
+            pair_count,
+            pairs_digest,
+        }
+    }
+
+    /// Serializes the key block (everything after magic + version).
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.n.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.push(self.sel_tag);
+        for p in self.sel_params {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out.push(self.pair_tag);
+        out.extend_from_slice(&self.pair_count.to_le_bytes());
+        out.extend_from_slice(&self.pairs_digest.to_le_bytes());
+    }
+
+    /// The file name this key addresses: 16 hex digits of the key digest.
+    pub fn file_name(&self) -> String {
+        let mut bytes = Vec::with_capacity(64);
+        self.encode_into(&mut bytes);
+        format!("{:016x}.ptab", fnv1a(&bytes))
+    }
+
+    /// The selection the key was built for.
+    pub fn selection(&self) -> Option<PathSelection> {
+        decode_selection(self.sel_tag, self.sel_params).ok()
+    }
+
+    /// Switch count of the keyed graph.
+    pub fn num_switches(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Table seed of the keyed computation.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Human-readable pair coverage, e.g. `all-pairs` or `pairs(12)`.
+    pub fn pairs_summary(&self) -> String {
+        if self.pair_tag == 0 {
+            "all-pairs".into()
+        } else {
+            format!("pairs({})", self.pair_count)
+        }
+    }
+}
+
+fn encode_selection(selection: PathSelection) -> (u8, [u64; 3]) {
+    match selection {
+        PathSelection::SinglePath => (0, [0, 0, 0]),
+        PathSelection::Ksp(k) => (1, [k as u64, 0, 0]),
+        PathSelection::RKsp(k) => (2, [k as u64, 0, 0]),
+        PathSelection::EdKsp(k) => (3, [k as u64, 0, 0]),
+        PathSelection::REdKsp(k) => (4, [k as u64, 0, 0]),
+        PathSelection::Llskr(c) => (5, [c.spread as u64, c.min_paths as u64, c.max_paths as u64]),
+    }
+}
+
+fn decode_selection(tag: u8, p: [u64; 3]) -> Result<PathSelection, CacheError> {
+    Ok(match tag {
+        0 => PathSelection::SinglePath,
+        1 => PathSelection::Ksp(p[0] as usize),
+        2 => PathSelection::RKsp(p[0] as usize),
+        3 => PathSelection::EdKsp(p[0] as usize),
+        4 => PathSelection::REdKsp(p[0] as usize),
+        5 => PathSelection::Llskr(LlskrConfig {
+            spread: p[0] as u32,
+            min_paths: p[1] as usize,
+            max_paths: p[2] as usize,
+        }),
+        _ => return Err(CacheError::Corrupt("unknown selection tag")),
+    })
+}
+
+/// Serializes `table` under `key` to `jellyfish-ptab v1` bytes.
+///
+/// Entries are emitted sorted by `(s, d)`, so identical tables produce
+/// identical bytes independent of thread count or hash-map iteration
+/// order.
+pub fn encode_table(table: &PathTable, key: &CacheKey) -> Vec<u8> {
+    let _span = jellyfish_obs::span("routing.cache.serialize");
+    debug_assert_eq!(
+        table.is_dense(),
+        key.pair_tag == 0,
+        "dense storage must coincide with the all-pairs key tag"
+    );
+    let entries = table.cache_entries();
+    let mut out = Vec::with_capacity(64 + entries.len() * 16);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    key.encode_into(&mut out);
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for (s, d, set) in entries {
+        out.extend_from_slice(&s.to_le_bytes());
+        out.extend_from_slice(&d.to_le_bytes());
+        out.extend_from_slice(&(set.len() as u32).to_le_bytes());
+        for path in set.iter() {
+            out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+            for &node in path {
+                out.extend_from_slice(&node.to_le_bytes());
+            }
+        }
+    }
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Bounds-checked little-endian reader over untrusted bytes.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], CacheError> {
+        let end = self.pos.checked_add(len).ok_or(CacheError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CacheError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CacheError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CacheError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CacheError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// Parses only the key block of a `jellyfish-ptab v1` file (checksum is
+/// still verified over the whole file). Used by `jellytool cache stats`.
+pub fn decode_key(bytes: &[u8]) -> Result<CacheKey, CacheError> {
+    let mut cur = verify_envelope(bytes)?;
+    read_key(&mut cur)
+}
+
+/// Verifies magic, version and trailing checksum; returns a cursor
+/// positioned at the key block.
+fn verify_envelope(bytes: &[u8]) -> Result<Cursor<'_>, CacheError> {
+    let mut cur = Cursor { buf: bytes, pos: 0 };
+    if cur.take(8).map_err(|_| CacheError::Truncated)? != MAGIC {
+        return Err(CacheError::BadMagic);
+    }
+    let version = cur.u32()?;
+    if version != VERSION {
+        return Err(CacheError::BadVersion(version));
+    }
+    if bytes.len() < 20 {
+        return Err(CacheError::Truncated);
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    if fnv1a(body) != stored {
+        return Err(CacheError::BadChecksum);
+    }
+    // Hide the footer from the cursor so body parsing cannot consume it.
+    cur.buf = body;
+    Ok(cur)
+}
+
+fn read_key(cur: &mut Cursor<'_>) -> Result<CacheKey, CacheError> {
+    let fingerprint = cur.u64()?;
+    let n = cur.u64()?;
+    let seed = cur.u64()?;
+    let sel_tag = cur.u8()?;
+    let sel_params = [cur.u64()?, cur.u64()?, cur.u64()?];
+    decode_selection(sel_tag, sel_params)?;
+    let pair_tag = cur.u8()?;
+    if pair_tag > 1 {
+        return Err(CacheError::Corrupt("unknown pair-set tag"));
+    }
+    let pair_count = cur.u64()?;
+    let pairs_digest = cur.u64()?;
+    Ok(CacheKey { fingerprint, n, seed, sel_tag, sel_params, pair_tag, pair_count, pairs_digest })
+}
+
+/// Parses a full `jellyfish-ptab v1` file into its key and table.
+///
+/// Strict: the checksum must match, node ids must be in range, path
+/// endpoints must equal the entry's pair, entries must be strictly sorted
+/// and no trailing bytes may remain. Returns [`CacheError`] on any
+/// violation — this function never panics on untrusted input.
+pub fn decode_table(bytes: &[u8]) -> Result<(CacheKey, PathTable), CacheError> {
+    let _span = jellyfish_obs::span("routing.cache.deserialize");
+    let mut cur = verify_envelope(bytes)?;
+    let key = read_key(&mut cur)?;
+    let selection = decode_selection(key.sel_tag, key.sel_params).expect("validated by read_key");
+    if key.n > u32::MAX as u64 {
+        return Err(CacheError::Corrupt("switch count exceeds u32 range"));
+    }
+    let n = key.n as usize;
+
+    let entry_count = cur.u64()?;
+    if key.pair_tag == 0 && entry_count != key.n * key.n.saturating_sub(1) {
+        return Err(CacheError::Corrupt("all-pairs table with wrong entry count"));
+    }
+    let mut entries: Vec<((NodeId, NodeId), crate::table::PathSet)> = Vec::new();
+    let mut prev: Option<(NodeId, NodeId)> = None;
+    for _ in 0..entry_count {
+        let s = cur.u32()?;
+        let d = cur.u32()?;
+        if s as usize >= n || d as usize >= n || s == d {
+            return Err(CacheError::Corrupt("pair id out of range"));
+        }
+        if prev.is_some_and(|p| p >= (s, d)) {
+            return Err(CacheError::Corrupt("entries not strictly sorted"));
+        }
+        prev = Some((s, d));
+        let path_count = cur.u32()?;
+        let mut paths: Vec<Vec<NodeId>> = Vec::new();
+        for _ in 0..path_count {
+            let len = cur.u32()? as usize;
+            if len < 2 {
+                return Err(CacheError::Corrupt("path shorter than one hop"));
+            }
+            let raw = cur.take(len * 4)?;
+            let path: Vec<NodeId> = raw
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect();
+            if path.iter().any(|&v| v as usize >= n) {
+                return Err(CacheError::Corrupt("path node out of range"));
+            }
+            if path[0] != s || *path.last().expect("len >= 2") != d {
+                return Err(CacheError::Corrupt("path endpoints disagree with pair"));
+            }
+            paths.push(path);
+        }
+        entries.push(((s, d), crate::table::PathSet::from_paths(&paths)));
+    }
+    if cur.pos != cur.buf.len() {
+        return Err(CacheError::Corrupt("trailing bytes after last entry"));
+    }
+    let table = PathTable::from_cache_entries(selection, n, entries, key.pair_tag == 0);
+    Ok((key, table))
+}
+
+/// Aggregate on-disk cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of `.ptab` files in the cache directory.
+    pub files: usize,
+    /// Total size of those files in bytes.
+    pub bytes: u64,
+}
+
+/// Description of one cached file, as shown by `jellytool cache stats`.
+#[derive(Debug)]
+pub struct CacheEntryInfo {
+    /// File name within the cache directory.
+    pub file: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Parsed key, if the file is a valid `jellyfish-ptab v1`.
+    pub key: Result<CacheKey, CacheError>,
+}
+
+/// Content-addressed path-table store: an in-process LRU in front of a
+/// directory of `jellyfish-ptab v1` files.
+///
+/// [`PathCache::load_or_compute`] is the front door: memory hit, else
+/// disk hit (with full validation — a corrupt file is treated as a miss
+/// and overwritten), else compute-and-store. All outcomes are counted in
+/// the [`jellyfish_obs`] registry under `routing.cache.*`.
+pub struct PathCache {
+    dir: PathBuf,
+    capacity: usize,
+    lru: Mutex<LruState>,
+}
+
+#[derive(Default)]
+struct LruState {
+    tick: u64,
+    map: HashMap<CacheKey, (u64, Arc<PathTable>)>,
+}
+
+impl fmt::Debug for PathCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PathCache")
+            .field("dir", &self.dir)
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PathCache {
+    /// Default number of tables kept in memory.
+    pub const DEFAULT_CAPACITY: usize = 8;
+
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::with_capacity(dir, Self::DEFAULT_CAPACITY)
+    }
+
+    /// [`PathCache::new`] with an explicit in-memory LRU capacity.
+    pub fn with_capacity(dir: impl Into<PathBuf>, capacity: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir, capacity: capacity.max(1), lru: Mutex::new(LruState::default()) })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Returns the table for `(graph, selection, pairs, seed)`, loading it
+    /// from memory or disk when cached and computing (then storing) it
+    /// otherwise. The result is always identical to
+    /// [`PathTable::compute`] on the same inputs.
+    pub fn load_or_compute(
+        &self,
+        graph: &Graph,
+        selection: PathSelection,
+        pairs: &PairSet,
+        seed: u64,
+    ) -> Arc<PathTable> {
+        let key = CacheKey::new(graph, selection, pairs, seed);
+        if let Some(table) = self.lru_get(&key) {
+            jellyfish_obs::global().counter_add("routing.cache.mem_hits", 1);
+            return table;
+        }
+        let path = self.dir.join(key.file_name());
+        match std::fs::read(&path) {
+            Ok(bytes) => match decode_table(&bytes) {
+                Ok((stored_key, table)) if stored_key == key => {
+                    let mut obs = jellyfish_obs::global();
+                    obs.counter_add("routing.cache.disk_hits", 1);
+                    obs.counter_add("routing.cache.bytes_read", bytes.len() as u64);
+                    drop(obs);
+                    let table = Arc::new(table);
+                    self.lru_put(key, Arc::clone(&table));
+                    return table;
+                }
+                Ok(_) => {
+                    // File-name digest collision: treat as a miss and let
+                    // the recompute overwrite the colliding file.
+                    jellyfish_obs::global().counter_add("routing.cache.key_mismatches", 1);
+                }
+                Err(_) => {
+                    jellyfish_obs::global().counter_add("routing.cache.rejected", 1);
+                }
+            },
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(_) => {
+                jellyfish_obs::global().counter_add("routing.cache.io_errors", 1);
+            }
+        }
+        jellyfish_obs::global().counter_add("routing.cache.misses", 1);
+        let table = Arc::new(PathTable::compute(graph, selection, pairs, seed));
+        let bytes = encode_table(&table, &key);
+        if self.write_atomic(&path, &bytes).is_ok() {
+            jellyfish_obs::global().counter_add("routing.cache.bytes_written", bytes.len() as u64);
+        } else {
+            jellyfish_obs::global().counter_add("routing.cache.io_errors", 1);
+        }
+        self.lru_put(key, Arc::clone(&table));
+        table
+    }
+
+    /// Write-then-rename so concurrent processes sharing the directory
+    /// never observe a half-written file.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    fn lru_get(&self, key: &CacheKey) -> Option<Arc<PathTable>> {
+        let mut lru = self.lru.lock().expect("cache lru poisoned");
+        lru.tick += 1;
+        let tick = lru.tick;
+        lru.map.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            Arc::clone(&slot.1)
+        })
+    }
+
+    fn lru_put(&self, key: CacheKey, table: Arc<PathTable>) {
+        let mut lru = self.lru.lock().expect("cache lru poisoned");
+        lru.tick += 1;
+        let tick = lru.tick;
+        lru.map.insert(key, (tick, table));
+        while lru.map.len() > self.capacity {
+            let oldest = *lru
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k)
+                .expect("map non-empty");
+            lru.map.remove(&oldest);
+        }
+    }
+
+    /// Aggregate file count and byte size of the on-disk store.
+    pub fn stats(&self) -> io::Result<CacheStats> {
+        let mut stats = CacheStats { files: 0, bytes: 0 };
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.path().extension().is_some_and(|e| e == "ptab") {
+                stats.files += 1;
+                stats.bytes += entry.metadata()?.len();
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Per-file descriptions (sorted by file name) for `jellytool cache
+    /// stats`. Invalid files are reported with their rejection reason.
+    pub fn manifest(&self) -> io::Result<Vec<CacheEntryInfo>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != "ptab") {
+                continue;
+            }
+            let file = path.file_name().and_then(|f| f.to_str()).unwrap_or("?").to_string();
+            let bytes = entry.metadata()?.len();
+            let key = std::fs::read(&path).map_err(CacheError::Io).and_then(|b| decode_key(&b));
+            out.push(CacheEntryInfo { file, bytes, key });
+        }
+        out.sort_by(|a, b| a.file.cmp(&b.file));
+        Ok(out)
+    }
+
+    /// Deletes every `.ptab` file and drops the in-memory LRU. Returns the
+    /// number of files removed.
+    pub fn clear(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.path().extension().is_some_and(|e| e == "ptab") {
+                std::fs::remove_file(entry.path())?;
+                removed += 1;
+            }
+        }
+        let mut lru = self.lru.lock().expect("cache lru poisoned");
+        lru.map.clear();
+        Ok(removed)
+    }
+}
+
+static GLOBAL: OnceLock<RwLock<Option<Arc<PathCache>>>> = OnceLock::new();
+
+fn global_slot() -> &'static RwLock<Option<Arc<PathCache>>> {
+    GLOBAL.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs `cache` as the process-wide path cache consulted by
+/// [`load_or_compute_global`] (and therefore by every experiment driver
+/// that computes tables through `JellyfishNetwork::paths`).
+pub fn install_global(cache: PathCache) {
+    *global_slot().write().expect("global cache poisoned") = Some(Arc::new(cache));
+}
+
+/// Removes the process-wide cache; subsequent computations run uncached.
+pub fn uninstall_global() {
+    *global_slot().write().expect("global cache poisoned") = None;
+}
+
+/// The currently installed process-wide cache, if any.
+pub fn global_cache() -> Option<Arc<PathCache>> {
+    global_slot().read().expect("global cache poisoned").clone()
+}
+
+/// [`PathTable::compute`] through the process-wide cache when one is
+/// installed, plain compute otherwise. Results are identical either way.
+pub fn load_or_compute_global(
+    graph: &Graph,
+    selection: PathSelection,
+    pairs: &PairSet,
+    seed: u64,
+) -> PathTable {
+    match global_cache() {
+        Some(cache) => (*cache.load_or_compute(graph, selection, pairs, seed)).clone(),
+        None => PathTable::compute(graph, selection, pairs, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("jfptab-unit-{}-{tag}-{id}", std::process::id()))
+    }
+
+    fn small_graph() -> Graph {
+        crate::bfs::tests::figure3()
+    }
+
+    #[test]
+    fn key_is_content_sensitive() {
+        let g = small_graph();
+        let base = CacheKey::new(&g, PathSelection::Ksp(4), &PairSet::AllPairs, 7);
+        assert_eq!(base, CacheKey::new(&g, PathSelection::Ksp(4), &PairSet::AllPairs, 7));
+        assert_ne!(base, CacheKey::new(&g, PathSelection::Ksp(4), &PairSet::AllPairs, 8));
+        assert_ne!(base, CacheKey::new(&g, PathSelection::RKsp(4), &PairSet::AllPairs, 7));
+        assert_ne!(base, CacheKey::new(&g, PathSelection::Ksp(3), &PairSet::AllPairs, 7));
+        assert_ne!(
+            base,
+            CacheKey::new(&g, PathSelection::Ksp(4), &PairSet::Pairs(vec![(0, 9)]), 7)
+        );
+        let other = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_ne!(base, CacheKey::new(&other, PathSelection::Ksp(4), &PairSet::AllPairs, 7));
+    }
+
+    #[test]
+    fn pair_list_key_is_order_insensitive() {
+        // materialize() sorts and dedups, so permuted or duplicated pair
+        // lists address the same cache entry.
+        let g = small_graph();
+        let a = CacheKey::new(&g, PathSelection::Ksp(2), &PairSet::Pairs(vec![(0, 9), (3, 5)]), 1);
+        let b = CacheKey::new(
+            &g,
+            PathSelection::Ksp(2),
+            &PairSet::Pairs(vec![(3, 5), (0, 9), (0, 9)]),
+            1,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrip_all_schemes_dense_and_sparse() {
+        let g = small_graph();
+        let selections = [
+            PathSelection::SinglePath,
+            PathSelection::Ksp(3),
+            PathSelection::RKsp(3),
+            PathSelection::EdKsp(3),
+            PathSelection::REdKsp(3),
+            PathSelection::Llskr(LlskrConfig::default()),
+        ];
+        for sel in selections {
+            for pairs in [PairSet::AllPairs, PairSet::Pairs(vec![(0, 9), (9, 0), (2, 7)])] {
+                let table = PathTable::compute(&g, sel, &pairs, 42);
+                let key = CacheKey::new(&g, sel, &pairs, 42);
+                let bytes = encode_table(&table, &key);
+                let (got_key, got) = decode_table(&bytes).expect("roundtrip");
+                assert_eq!(got_key, key);
+                assert_eq!(got, table, "{} {pairs:?}", sel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let g = small_graph();
+        let pairs = PairSet::AllPairs;
+        let sel = PathSelection::REdKsp(2);
+        let key = CacheKey::new(&g, sel, &pairs, 5);
+        let a = encode_table(&PathTable::compute(&g, sel, &pairs, 5), &key);
+        let b = encode_table(&PathTable::compute(&g, sel, &pairs, 5), &key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let g = small_graph();
+        let pairs = PairSet::Pairs(vec![(0, 9)]);
+        let key = CacheKey::new(&g, PathSelection::Ksp(2), &pairs, 0);
+        let table = PathTable::compute(&g, PathSelection::Ksp(2), &pairs, 0);
+        let bytes = encode_table(&table, &key);
+
+        assert!(matches!(decode_table(&[]), Err(CacheError::Truncated)));
+        assert!(matches!(decode_table(&bytes[..6]), Err(CacheError::Truncated)));
+        assert!(matches!(decode_table(&bytes[..bytes.len() - 1]), Err(CacheError::BadChecksum)));
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(decode_table(&bad_magic), Err(CacheError::BadMagic)));
+
+        let mut bad_version = bytes.clone();
+        bad_version[8] = 2;
+        assert!(matches!(decode_table(&bad_version), Err(CacheError::BadVersion(2))));
+
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        assert!(matches!(decode_table(&flipped), Err(CacheError::BadChecksum)));
+    }
+
+    #[test]
+    fn cache_hits_memory_then_disk() {
+        let dir = tmp_dir("hits");
+        let g = small_graph();
+        let pairs = PairSet::AllPairs;
+        let sel = PathSelection::RKsp(2);
+
+        let cache = PathCache::new(&dir).unwrap();
+        let cold = cache.load_or_compute(&g, sel, &pairs, 9);
+        let warm = cache.load_or_compute(&g, sel, &pairs, 9);
+        assert_eq!(*cold, *warm);
+        assert_eq!(cache.stats().unwrap().files, 1);
+
+        // A fresh cache over the same directory must hit disk, not memory.
+        let cache2 = PathCache::new(&dir).unwrap();
+        let from_disk = cache2.load_or_compute(&g, sel, &pairs, 9);
+        assert_eq!(*cold, *from_disk);
+        assert_eq!(*from_disk, PathTable::compute(&g, sel, &pairs, 9));
+
+        assert_eq!(cache2.clear().unwrap(), 1);
+        assert_eq!(cache2.stats().unwrap().files, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_file_is_recomputed_and_repaired() {
+        let dir = tmp_dir("corrupt");
+        let g = small_graph();
+        let pairs = PairSet::Pairs(vec![(0, 9), (5, 2)]);
+        let sel = PathSelection::EdKsp(2);
+
+        let cache = PathCache::new(&dir).unwrap();
+        let key = CacheKey::new(&g, sel, &pairs, 3);
+        let expected = cache.load_or_compute(&g, sel, &pairs, 3);
+
+        // Corrupt the stored file in place.
+        let path = dir.join(key.file_name());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // A fresh cache (no memory hit) must reject the file, recompute
+        // the same table and repair the store.
+        let cache2 = PathCache::new(&dir).unwrap();
+        let got = cache2.load_or_compute(&g, sel, &pairs, 3);
+        assert_eq!(*got, *expected);
+        let repaired = std::fs::read(&path).unwrap();
+        assert!(decode_table(&repaired).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let dir = tmp_dir("lru");
+        let g = small_graph();
+        let cache = PathCache::with_capacity(&dir, 2).unwrap();
+        for seed in 0..3u64 {
+            cache.load_or_compute(&g, PathSelection::Ksp(1), &PairSet::AllPairs, seed);
+        }
+        let lru = cache.lru.lock().unwrap();
+        assert_eq!(lru.map.len(), 2);
+        let evicted = CacheKey::new(&g, PathSelection::Ksp(1), &PairSet::AllPairs, 0);
+        assert!(!lru.map.contains_key(&evicted), "seed 0 must be the evicted entry");
+        drop(lru);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_reports_valid_and_invalid_files() {
+        let dir = tmp_dir("manifest");
+        let g = small_graph();
+        let cache = PathCache::new(&dir).unwrap();
+        cache.load_or_compute(&g, PathSelection::Ksp(2), &PairSet::AllPairs, 1);
+        std::fs::write(dir.join("bogus.ptab"), b"not a ptab").unwrap();
+        let manifest = cache.manifest().unwrap();
+        assert_eq!(manifest.len(), 2);
+        assert_eq!(manifest.iter().filter(|e| e.key.is_ok()).count(), 1);
+        let bogus = manifest.iter().find(|e| e.file == "bogus.ptab").unwrap();
+        assert!(matches!(bogus.key, Err(CacheError::BadMagic)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn global_cache_roundtrip() {
+        let dir = tmp_dir("global");
+        let g = small_graph();
+        let pairs = PairSet::AllPairs;
+        let sel = PathSelection::REdKsp(2);
+        let uncached = load_or_compute_global(&g, sel, &pairs, 11);
+        install_global(PathCache::new(&dir).unwrap());
+        let cold = load_or_compute_global(&g, sel, &pairs, 11);
+        let warm = load_or_compute_global(&g, sel, &pairs, 11);
+        uninstall_global();
+        assert_eq!(uncached, cold);
+        assert_eq!(uncached, warm);
+        assert!(global_cache().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

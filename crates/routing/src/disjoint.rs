@@ -7,8 +7,8 @@
 //! shortest-path search this yields the paper's **EDKSP**; with randomized
 //! tie-breaking, **rEDKSP**.
 
-use crate::bfs::{shortest_path_with, SpScratch, TieBreak};
-use crate::mask::Mask;
+use crate::bfs::{shortest_path_with, TieBreak};
+use crate::workspace::DijkstraWorkspace;
 use jellyfish_topology::{Graph, NodeId};
 
 /// Computes up to `k` mutually edge-disjoint paths from `src` to `dst`.
@@ -19,6 +19,9 @@ use jellyfish_topology::{Graph, NodeId};
 /// the trade-off the paper discusses). Returns fewer than `k` paths when
 /// the graph runs out of edge-disjoint routes; by Menger's theorem at most
 /// `min(deg(src), deg(dst))` paths exist.
+///
+/// Allocates a fresh [`DijkstraWorkspace`]; hot loops should call
+/// [`edge_disjoint_paths_with`] with a reused one instead.
 pub fn edge_disjoint_paths(
     graph: &Graph,
     src: NodeId,
@@ -26,14 +29,27 @@ pub fn edge_disjoint_paths(
     k: usize,
     tiebreak: &mut TieBreak<'_>,
 ) -> Vec<Vec<NodeId>> {
+    let mut ws = DijkstraWorkspace::for_graph(graph);
+    edge_disjoint_paths_with(graph, src, dst, k, tiebreak, &mut ws)
+}
+
+/// [`edge_disjoint_paths`] with caller-provided search arenas.
+pub fn edge_disjoint_paths_with(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    tiebreak: &mut TieBreak<'_>,
+    ws: &mut DijkstraWorkspace,
+) -> Vec<Vec<NodeId>> {
     if k == 0 || src == dst {
         return Vec::new();
     }
-    let mut mask = Mask::new(graph);
-    let mut scratch = SpScratch::for_graph(graph);
+    ws.ensure(graph);
+    let DijkstraWorkspace { mask, scratch, .. } = ws;
     let mut paths = Vec::with_capacity(k);
     for _ in 0..k {
-        match shortest_path_with(graph, src, dst, &mask, tiebreak, &mut scratch) {
+        match shortest_path_with(graph, src, dst, mask, tiebreak, scratch) {
             Some(p) => {
                 mask.remove_path_edges(graph, &p);
                 paths.push(p);
@@ -41,6 +57,9 @@ pub fn edge_disjoint_paths(
             None => break,
         }
     }
+    // Remove-Find leaves the pruned edges behind; reset so the next
+    // borrower of this workspace starts from the intact graph.
+    mask.reset();
     paths
 }
 

@@ -27,6 +27,7 @@
 //! tests.
 
 pub mod bfs;
+pub mod cache;
 pub mod dijkstra;
 pub mod disjoint;
 pub mod llskr;
@@ -34,16 +35,19 @@ pub mod mask;
 pub mod properties;
 pub mod serialize;
 pub mod table;
+pub mod workspace;
 pub mod yen;
 
 pub use bfs::{shortest_path, TieBreak};
-pub use disjoint::edge_disjoint_paths;
-pub use llskr::{llskr_paths, LlskrConfig};
+pub use cache::{CacheError, CacheKey, CacheStats, PathCache};
+pub use disjoint::{edge_disjoint_paths, edge_disjoint_paths_with};
+pub use llskr::{llskr_paths, llskr_paths_with, LlskrConfig};
 pub use mask::Mask;
 pub use properties::{path_properties, PathProperties};
 pub use serialize::{load_table, read_table, save_table, write_table, ReadError};
 pub use table::{FaultReport, PairSet, PairSurvival, Path, PathSelection, PathTable};
-pub use yen::k_shortest_paths;
+pub use workspace::{with_thread_workspace, DijkstraWorkspace};
+pub use yen::{k_shortest_paths, k_shortest_paths_with};
 
 /// Derives a per-pair RNG seed from a table seed and the ordered pair, so
 /// path computation is deterministic regardless of scheduling order.

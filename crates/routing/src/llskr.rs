@@ -15,7 +15,8 @@
 //! because this reproduction routes with the mechanisms of Section III-B.
 
 use crate::bfs::TieBreak;
-use crate::yen::k_shortest_paths;
+use crate::workspace::DijkstraWorkspace;
+use crate::yen::k_shortest_paths_with;
 use jellyfish_topology::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -61,8 +62,21 @@ pub fn llskr_paths(
     config: &LlskrConfig,
     tiebreak: &mut TieBreak<'_>,
 ) -> Vec<Vec<NodeId>> {
+    let mut ws = DijkstraWorkspace::for_graph(graph);
+    llskr_paths_with(graph, src, dst, config, tiebreak, &mut ws)
+}
+
+/// [`llskr_paths`] with caller-provided search arenas.
+pub fn llskr_paths_with(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    config: &LlskrConfig,
+    tiebreak: &mut TieBreak<'_>,
+    ws: &mut DijkstraWorkspace,
+) -> Vec<Vec<NodeId>> {
     config.validate().expect("invalid LLSKR configuration");
-    let candidates = k_shortest_paths(graph, src, dst, config.max_paths, tiebreak);
+    let candidates = k_shortest_paths_with(graph, src, dst, config.max_paths, tiebreak, ws);
     let Some(shortest_hops) = candidates.first().map(|p| (p.len() - 1) as u32) else {
         return Vec::new();
     };

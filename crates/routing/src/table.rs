@@ -7,12 +7,12 @@
 //! buffer). Randomized schemes derive an independent RNG per pair from the
 //! table seed, so results do not depend on scheduling order.
 
-use crate::bfs::{shortest_path, TieBreak};
-use crate::disjoint::edge_disjoint_paths;
-use crate::llskr::{llskr_paths, LlskrConfig};
-use crate::mask::Mask;
+use crate::bfs::{shortest_path_with, TieBreak};
+use crate::disjoint::edge_disjoint_paths_with;
+use crate::llskr::{llskr_paths_with, LlskrConfig};
 use crate::pair_seed;
-use crate::yen::k_shortest_paths;
+use crate::workspace::{with_thread_workspace, DijkstraWorkspace};
+use crate::yen::k_shortest_paths_with;
 use jellyfish_topology::{DegradedGraph, Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -73,7 +73,28 @@ impl PathSelection {
     }
 
     /// Computes this scheme's paths for one ordered pair.
+    ///
+    /// Allocates fresh search arenas; hot loops should call
+    /// [`PathSelection::paths_for_pair_with`] with a reused
+    /// [`DijkstraWorkspace`] instead.
     pub fn paths_for_pair(&self, graph: &Graph, src: NodeId, dst: NodeId, seed: u64) -> Vec<Path> {
+        let mut ws = DijkstraWorkspace::for_graph(graph);
+        self.paths_for_pair_with(graph, src, dst, seed, &mut ws)
+    }
+
+    /// [`PathSelection::paths_for_pair`] with caller-provided arenas.
+    ///
+    /// The result is identical to the allocating variant — the workspace
+    /// only changes where the transient buffers live, never which paths
+    /// are selected (the differential tests in `tests/` pin this down).
+    pub fn paths_for_pair_with(
+        &self,
+        graph: &Graph,
+        src: NodeId,
+        dst: NodeId,
+        seed: u64,
+        ws: &mut DijkstraWorkspace,
+    ) -> Vec<Path> {
         let mut rng;
         let mut tiebreak = if self.is_randomized() {
             rng = StdRng::seed_from_u64(pair_seed(seed, src, dst));
@@ -83,16 +104,19 @@ impl PathSelection {
         };
         match *self {
             PathSelection::SinglePath => {
-                let mask = Mask::new(graph);
-                shortest_path(graph, src, dst, &mask, &mut tiebreak).into_iter().collect()
+                ws.ensure(graph);
+                let DijkstraWorkspace { mask, scratch, .. } = ws;
+                shortest_path_with(graph, src, dst, mask, &mut tiebreak, scratch)
+                    .into_iter()
+                    .collect()
             }
             PathSelection::Ksp(k) | PathSelection::RKsp(k) => {
-                k_shortest_paths(graph, src, dst, k, &mut tiebreak)
+                k_shortest_paths_with(graph, src, dst, k, &mut tiebreak, ws)
             }
             PathSelection::EdKsp(k) | PathSelection::REdKsp(k) => {
-                edge_disjoint_paths(graph, src, dst, k, &mut tiebreak)
+                edge_disjoint_paths_with(graph, src, dst, k, &mut tiebreak, ws)
             }
-            PathSelection::Llskr(cfg) => llskr_paths(graph, src, dst, &cfg, &mut tiebreak),
+            PathSelection::Llskr(cfg) => llskr_paths_with(graph, src, dst, &cfg, &mut tiebreak, ws),
         }
     }
 }
@@ -193,7 +217,7 @@ impl PathSet {
 /// Dense storage (flat `Vec` indexed by `s * n + d`) is used for
 /// [`PairSet::AllPairs`]; sparse (`HashMap`) otherwise. Lookup via
 /// [`PathTable::get`] is uniform over both.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PathTable {
     selection: PathSelection,
     n: usize,
@@ -201,7 +225,7 @@ pub struct PathTable {
     max_hops: usize,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum Storage {
     Dense(Vec<PathSet>),
     Sparse(HashMap<u64, PathSet>),
@@ -230,7 +254,11 @@ impl PathTable {
                         if s == d {
                             PathSet::default()
                         } else {
-                            PathSet::from_paths(&selection.paths_for_pair(graph, s, d, seed))
+                            with_thread_workspace(graph, |ws| {
+                                PathSet::from_paths(
+                                    &selection.paths_for_pair_with(graph, s, d, seed, ws),
+                                )
+                            })
                         }
                     })
                     .collect();
@@ -241,10 +269,12 @@ impl PathTable {
                 let map: HashMap<u64, PathSet> = list
                     .into_par_iter()
                     .map(|(s, d)| {
-                        (
-                            pack(s, d),
-                            PathSet::from_paths(&selection.paths_for_pair(graph, s, d, seed)),
-                        )
+                        let ps = with_thread_workspace(graph, |ws| {
+                            PathSet::from_paths(
+                                &selection.paths_for_pair_with(graph, s, d, seed, ws),
+                            )
+                        });
+                        (pack(s, d), ps)
                     })
                     .collect();
                 Storage::Sparse(map)
@@ -321,6 +351,35 @@ impl PathTable {
         Self { selection: PathSelection::SinglePath, n, storage: Storage::Sparse(map), max_hops }
     }
 
+    /// Rebuilds a table from deserialized entries, preserving the
+    /// original selection tag and storage layout (dense for all-pairs
+    /// tables, sparse otherwise) so a cache round trip is
+    /// indistinguishable from the in-memory computation. `max_hops` is
+    /// recomputed from the paths rather than trusted from the file.
+    pub(crate) fn from_cache_entries(
+        selection: PathSelection,
+        n: usize,
+        entries: Vec<((NodeId, NodeId), PathSet)>,
+        dense: bool,
+    ) -> Self {
+        let max_hops = entries.iter().map(|(_, ps)| ps.max_hops()).max().unwrap_or(0);
+        let storage = if dense {
+            let mut sets = vec![PathSet::default(); n * n];
+            for ((s, d), ps) in entries {
+                sets[s as usize * n + d as usize] = ps;
+            }
+            Storage::Dense(sets)
+        } else {
+            Storage::Sparse(entries.into_iter().map(|((s, d), ps)| (pack(s, d), ps)).collect())
+        };
+        Self { selection, n, storage, max_hops }
+    }
+
+    /// Whether this table uses dense all-pairs storage (cache metadata).
+    pub(crate) fn is_dense(&self) -> bool {
+        matches!(self.storage, Storage::Dense(_))
+    }
+
     /// The scheme this table was computed with.
     pub fn selection(&self) -> PathSelection {
         self.selection
@@ -368,6 +427,34 @@ impl PathTable {
     /// Number of pairs stored (with at least one path).
     pub fn num_pairs(&self) -> usize {
         self.entries().count()
+    }
+
+    /// Every stored pair sorted by `(s, d)`, *including* pairs whose path
+    /// set is empty — the binary cache must reproduce pair coverage
+    /// exactly, and `get()` distinguishes "covered but empty" from "not
+    /// covered". Dense tables skip the (always empty) diagonal, which the
+    /// loader reconstructs.
+    pub(crate) fn cache_entries(&self) -> Vec<(NodeId, NodeId, &PathSet)> {
+        match &self.storage {
+            Storage::Dense(v) => v
+                .iter()
+                .enumerate()
+                .filter_map(|(i, ps)| {
+                    let (s, d) = ((i / self.n) as NodeId, (i % self.n) as NodeId);
+                    if s == d {
+                        None
+                    } else {
+                        Some((s, d, ps))
+                    }
+                })
+                .collect(),
+            Storage::Sparse(m) => {
+                let mut v: Vec<(NodeId, NodeId, &PathSet)> =
+                    m.iter().map(|(&key, ps)| ((key >> 32) as NodeId, key as u32, ps)).collect();
+                v.sort_unstable_by_key(|&(s, d, _)| (s, d));
+                v
+            }
+        }
     }
 
     /// Drops every stored path that crosses a failed link or switch of
@@ -466,7 +553,10 @@ impl PathTable {
         let recomputed: Vec<((NodeId, NodeId), PathSet)> = pairs
             .par_iter()
             .map(|&(s, d)| {
-                ((s, d), PathSet::from_paths(&selection.paths_for_pair(&degraded, s, d, seed)))
+                let ps = with_thread_workspace(&degraded, |ws| {
+                    PathSet::from_paths(&selection.paths_for_pair_with(&degraded, s, d, seed, ws))
+                });
+                ((s, d), ps)
             })
             .collect();
         let mut reconnected = 0;

@@ -1,0 +1,105 @@
+//! Reusable per-thread search state for the path-selection hot loop.
+//!
+//! Every per-pair path computation needs the same transient arenas: the
+//! BFS/Dijkstra distance and parent arrays, the frontier queues, and the
+//! removed-node/removed-link bitsets that Yen's algorithm and Remove-Find
+//! mask the graph with. Allocating them per call (the pre-cache behavior)
+//! put several `Vec` allocations on the hottest path of every experiment —
+//! `PathTable::compute` fans out over O(N²) pairs, and Yen's issues O(k·L)
+//! spur searches per pair. A [`DijkstraWorkspace`] owns all of it and is
+//! reused across calls; [`with_thread_workspace`] hands each rayon worker
+//! its own lazily created instance, so the fan-out in
+//! [`crate::PathTable::compute`] and [`crate::PathTable::repair`] performs
+//! no per-pair arena allocation at all.
+
+use crate::bfs::SpScratch;
+use crate::mask::Mask;
+use jellyfish_topology::Graph;
+use std::cell::RefCell;
+
+/// Reusable arenas for shortest-path search and path masking.
+///
+/// Sized for one graph; [`DijkstraWorkspace::ensure`] re-sizes (by
+/// reallocation) when handed a graph with a different node or link count,
+/// and always returns with a clean mask, so a workspace can be carried
+/// across graphs (e.g. pristine then degraded) safely.
+#[derive(Debug)]
+pub struct DijkstraWorkspace {
+    nodes: usize,
+    links: usize,
+    /// Removed-node / removed-link bitsets ("visited" arenas for the
+    /// masking algorithms).
+    pub(crate) mask: Mask,
+    /// Distance / parent / frontier arenas for the BFS kernel.
+    pub(crate) scratch: SpScratch,
+}
+
+impl DijkstraWorkspace {
+    /// Creates a workspace sized for `graph`.
+    pub fn for_graph(graph: &Graph) -> Self {
+        Self {
+            nodes: graph.num_nodes(),
+            links: graph.num_links(),
+            mask: Mask::new(graph),
+            scratch: SpScratch::for_graph(graph),
+        }
+    }
+
+    /// Makes the workspace valid for `graph`: re-sizes the arenas if the
+    /// graph dimensions changed and clears any leftover mask state.
+    pub fn ensure(&mut self, graph: &Graph) {
+        if self.nodes != graph.num_nodes() || self.links != graph.num_links() {
+            *self = Self::for_graph(graph);
+        } else {
+            self.mask.reset();
+        }
+    }
+}
+
+thread_local! {
+    static WORKSPACE: RefCell<Option<DijkstraWorkspace>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's cached [`DijkstraWorkspace`], creating or
+/// re-sizing it for `graph` first.
+///
+/// The workspace lives for the thread's lifetime, so repeated per-pair
+/// calls on the same rayon worker reuse one set of arenas.
+pub fn with_thread_workspace<R>(graph: &Graph, f: impl FnOnce(&mut DijkstraWorkspace) -> R) -> R {
+    WORKSPACE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let ws = slot.get_or_insert_with(|| DijkstraWorkspace::for_graph(graph));
+        ws.ensure(graph);
+        f(ws)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jellyfish_topology::Graph;
+
+    #[test]
+    fn ensure_resizes_and_cleans() {
+        let small = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let big = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut ws = DijkstraWorkspace::for_graph(&small);
+        ws.mask.remove_node(1);
+        ws.ensure(&small);
+        assert!(!ws.mask.is_dirty(), "same-size ensure must clear the mask");
+        ws.mask.remove_edge(&small, 0, 1);
+        ws.ensure(&big);
+        assert!(!ws.mask.is_dirty());
+        // The resized mask must address the larger graph without panics.
+        ws.mask.remove_node(4);
+        assert!(ws.mask.node_removed(4));
+    }
+
+    #[test]
+    fn thread_workspace_is_reused() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let first = with_thread_workspace(&g, |ws| ws as *mut DijkstraWorkspace as usize);
+        let second = with_thread_workspace(&g, |ws| ws as *mut DijkstraWorkspace as usize);
+        assert_eq!(first, second, "same thread must get the same arenas");
+    }
+}

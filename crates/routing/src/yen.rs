@@ -7,8 +7,8 @@
 //! promoted: lexicographically smallest for the deterministic variant,
 //! uniformly random for the randomized variant.
 
-use crate::bfs::{shortest_path_with, SpScratch, TieBreak};
-use crate::mask::Mask;
+use crate::bfs::{shortest_path_with, TieBreak};
+use crate::workspace::DijkstraWorkspace;
 use jellyfish_topology::{Graph, NodeId};
 use rand::Rng;
 use std::collections::HashSet;
@@ -19,6 +19,9 @@ use std::collections::HashSet;
 /// than `k` paths are returned when the graph does not contain `k`
 /// distinct loopless paths. Returns an empty vector if `dst` is
 /// unreachable or `src == dst`.
+///
+/// Allocates a fresh [`DijkstraWorkspace`]; hot loops should call
+/// [`k_shortest_paths_with`] with a reused one instead.
 pub fn k_shortest_paths(
     graph: &Graph,
     src: NodeId,
@@ -26,11 +29,24 @@ pub fn k_shortest_paths(
     k: usize,
     tiebreak: &mut TieBreak<'_>,
 ) -> Vec<Vec<NodeId>> {
+    let mut ws = DijkstraWorkspace::for_graph(graph);
+    k_shortest_paths_with(graph, src, dst, k, tiebreak, &mut ws)
+}
+
+/// [`k_shortest_paths`] with caller-provided search arenas.
+pub fn k_shortest_paths_with(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    tiebreak: &mut TieBreak<'_>,
+    ws: &mut DijkstraWorkspace,
+) -> Vec<Vec<NodeId>> {
     if k == 0 || src == dst {
         return Vec::new();
     }
-    let mut mask = Mask::new(graph);
-    let mut scratch = SpScratch::for_graph(graph);
+    ws.ensure(graph);
+    let DijkstraWorkspace { mask, scratch, .. } = ws;
 
     // Container A: the k shortest paths found so far.
     let mut a: Vec<Vec<NodeId>> = Vec::with_capacity(k);
@@ -39,7 +55,7 @@ pub fn k_shortest_paths(
     let mut b: Vec<Vec<NodeId>> = Vec::new();
     let mut b_seen: HashSet<Vec<NodeId>> = HashSet::new();
 
-    match shortest_path_with(graph, src, dst, &mask, tiebreak, &mut scratch) {
+    match shortest_path_with(graph, src, dst, mask, tiebreak, scratch) {
         Some(p) => a.push(p),
         None => return Vec::new(),
     }
@@ -68,9 +84,7 @@ pub fn k_shortest_paths(
                 mask.remove_node(node);
             }
 
-            if let Some(spur_path) =
-                shortest_path_with(graph, spur, dst, &mask, tiebreak, &mut scratch)
-            {
+            if let Some(spur_path) = shortest_path_with(graph, spur, dst, mask, tiebreak, scratch) {
                 let mut total = Vec::with_capacity(j + spur_path.len());
                 total.extend_from_slice(&root[..j]);
                 total.extend_from_slice(&spur_path);

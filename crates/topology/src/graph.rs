@@ -153,6 +153,36 @@ impl Graph {
         count == n
     }
 
+    /// Stable 64-bit content fingerprint of the graph.
+    ///
+    /// FNV-1a over the CSR arrays (lengths first, then every word in
+    /// little-endian byte order), so two graphs fingerprint equal iff
+    /// their canonical CSR representations are identical — the identity
+    /// the path-table cache keys on. The value is independent of platform
+    /// endianness and stable across processes and versions of this crate
+    /// as long as the CSR layout itself is unchanged.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        #[inline]
+        fn eat(mut h: u64, v: u32) -> u64 {
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+            h
+        }
+        let mut h = FNV_OFFSET;
+        h = eat(h, self.offsets.len() as u32);
+        h = eat(h, self.neighbors.len() as u32);
+        for &o in &self.offsets {
+            h = eat(h, o);
+        }
+        for &v in &self.neighbors {
+            h = eat(h, v);
+        }
+        h
+    }
+
     /// Iterates over all undirected edges as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         (0..self.num_nodes() as NodeId).flat_map(move |u| {
@@ -307,6 +337,25 @@ mod tests {
         b.add_edge(0, 1);
         b.add_edge(1, 0);
         b.build();
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let g = triangle();
+        // Same content, same fingerprint — including across builder paths.
+        assert_eq!(g.fingerprint(), triangle().fingerprint());
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 0);
+        b.add_edge(1, 0);
+        b.add_edge(2, 1);
+        assert_eq!(b.build().fingerprint(), g.fingerprint());
+        // Any structural difference changes it.
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_ne!(path.fingerprint(), g.fingerprint());
+        let bigger = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2)]);
+        assert_ne!(bigger.fingerprint(), g.fingerprint());
+        // Pin the value: the on-disk cache key must not drift silently.
+        assert_eq!(Graph::from_edges(0, &[]).fingerprint(), 0x5f24_2d39_c242_2be4);
     }
 
     #[test]

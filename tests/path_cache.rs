@@ -1,0 +1,134 @@
+//! Differential test layer for the content-addressed path-table cache
+//! and the zero-alloc (workspace-reusing) path selection.
+//!
+//! The cache and the per-thread [`DijkstraWorkspace`] arenas are pure
+//! plumbing: neither may change a single selected path. These tests pin
+//! that down by comparing every cached/workspace code path against the
+//! straightforward in-memory computation:
+//!
+//! * `load_or_compute` — cold (compute+store), warm-from-disk and
+//!   warm-from-memory — must equal `PathTable::compute` for random RRGs,
+//!   all selection schemes and both pair-set shapes;
+//! * `PathTable::repair` (which reuses thread workspaces across the
+//!   degraded graph) must equal a fresh allocating recomputation on the
+//!   materialized degraded graph;
+//! * serialization must be byte-identical regardless of how many rayon
+//!   threads computed the table (fixed seed ⇒ fixed bytes).
+//!
+//! [`DijkstraWorkspace`]: jellyfish_routing::DijkstraWorkspace
+
+use jellyfish_routing::cache::encode_table;
+use jellyfish_routing::cache::CacheKey;
+use jellyfish_routing::{LlskrConfig, PairSet, PathCache, PathSelection, PathTable};
+use jellyfish_topology::{build_rrg, ConstructionMethod, DegradedGraph, FaultPlan, RrgParams};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("jfptab-it-{}-{tag}-{id}", std::process::id()))
+}
+
+const PARAMS: RrgParams = RrgParams::new(10, 6, 4);
+
+fn rrg(seed: u64) -> jellyfish_topology::Graph {
+    build_rrg(PARAMS, ConstructionMethod::Incremental, seed).unwrap()
+}
+
+fn scheme(idx: usize, k: usize) -> PathSelection {
+    match idx % 6 {
+        0 => PathSelection::SinglePath,
+        1 => PathSelection::Ksp(k),
+        2 => PathSelection::RKsp(k),
+        3 => PathSelection::EdKsp(k),
+        4 => PathSelection::REdKsp(k),
+        _ => PathSelection::Llskr(LlskrConfig { spread: 1, min_paths: 1, max_paths: k.max(2) }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cold store, warm-from-disk and warm-from-memory loads all equal
+    /// the in-memory computation, for every scheme and pair-set shape.
+    #[test]
+    fn load_or_compute_equals_compute(
+        seed in any::<u64>(),
+        k in 1usize..5,
+        scheme_idx in 0usize..6,
+        all_pairs in 0usize..2,
+        pair_list in proptest::collection::vec((0u32..10, 0u32..10), 1..12),
+    ) {
+        let g = rrg(seed % 8);
+        let sel = scheme(scheme_idx, k);
+        let pairs =
+            if all_pairs == 0 { PairSet::AllPairs } else { PairSet::Pairs(pair_list) };
+        let expected = PathTable::compute(&g, sel, &pairs, seed);
+
+        let dir = tmp_dir("diff");
+        let cache = PathCache::new(&dir).unwrap();
+        let cold = cache.load_or_compute(&g, sel, &pairs, seed);
+        prop_assert_eq!(&*cold, &expected, "cold path diverged for {}", sel.name());
+        let warm_mem = cache.load_or_compute(&g, sel, &pairs, seed);
+        prop_assert_eq!(&*warm_mem, &expected, "memory hit diverged for {}", sel.name());
+
+        // A fresh cache over the same directory has an empty LRU, so this
+        // load exercises the full disk round trip (decode + rebuild).
+        let cache2 = PathCache::new(&dir).unwrap();
+        let warm_disk = cache2.load_or_compute(&g, sel, &pairs, seed);
+        prop_assert_eq!(&*warm_disk, &expected, "disk hit diverged for {}", sel.name());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Workspace-reusing `repair` equals a fresh allocating recomputation
+    /// of every affected pair on the materialized degraded graph.
+    #[test]
+    fn repair_equals_fresh_recompute(
+        seed in any::<u64>(),
+        rate in 0.02f64..0.20,
+        scheme_idx in 1usize..5,
+    ) {
+        let g = rrg(seed % 8);
+        let sel = scheme(scheme_idx, 3);
+        let mut table = PathTable::compute(&g, sel, &PairSet::AllPairs, seed);
+        let plan = FaultPlan::random_links(&g, rate, 0, seed ^ 0xF00D);
+        let view = DegradedGraph::at_time(&g, &plan, 0);
+        let report = table.apply_faults(&view);
+        let affected = report.affected_pairs();
+        let repair_seed = seed ^ 1;
+        table.repair(&view, &affected, repair_seed);
+
+        let degraded = view.materialize();
+        for &(s, d) in &affected {
+            // Oracle: the allocating per-pair API, fresh arenas per call.
+            let oracle = sel.paths_for_pair(&degraded, s, d, repair_seed);
+            let got: Vec<&[u32]> = table.get(s, d).unwrap().iter().collect();
+            let want: Vec<&[u32]> = oracle.iter().map(|p| p.as_slice()).collect();
+            prop_assert_eq!(got, want, "repair diverged for {} pair ({s},{d})", sel.name());
+        }
+    }
+}
+
+/// Fixed seed ⇒ byte-identical `jellyfish-ptab v1` serialization whether
+/// the table was computed serially (`RAYON_NUM_THREADS=1`) or with many
+/// threads, for all four of the paper's schemes.
+#[test]
+fn serialization_is_thread_count_invariant() {
+    let g = rrg(5);
+    for sel in [
+        PathSelection::Ksp(4),
+        PathSelection::RKsp(4),
+        PathSelection::EdKsp(4),
+        PathSelection::REdKsp(4),
+    ] {
+        let key = CacheKey::new(&g, sel, &PairSet::AllPairs, 9);
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let serial = encode_table(&PathTable::compute(&g, sel, &PairSet::AllPairs, 9), &key);
+        std::env::set_var("RAYON_NUM_THREADS", "7");
+        let threaded = encode_table(&PathTable::compute(&g, sel, &PairSet::AllPairs, 9), &key);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(serial, threaded, "thread count changed the bytes of {}", sel.name());
+    }
+}

@@ -1,0 +1,153 @@
+//! Golden-fixture tests for the `jellyfish-ptab v1` binary format.
+//!
+//! `tests/fixtures/ptab_v1.bin` is a committed encoding of a table
+//! computed on a hand-built (RNG-free) graph. The byte-equality test
+//! makes any change to the wire format — field order, widths, sorting,
+//! checksum — fail loudly instead of silently invalidating caches; the
+//! negative tests pin the strict-rejection contract: truncated, corrupt
+//! or version-skewed files must error (never panic, never best-effort
+//! parse).
+//!
+//! To regenerate after an *intentional* format change (bump `VERSION`
+//! first):
+//!
+//! ```text
+//! cargo test --test ptab_fixtures regenerate -- --ignored
+//! ```
+
+use jellyfish_routing::cache::{decode_key, decode_table, encode_table, CacheError, CacheKey};
+use jellyfish_routing::{PairSet, PathSelection, PathTable};
+use jellyfish_topology::Graph;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ptab_v1.bin")
+}
+
+/// The paper's Figure 3 example network (S1, A–H, D1 as 0..=9): fixed
+/// edge list, no RNG, so the fixture is reproducible forever.
+fn fixture_graph() -> Graph {
+    Graph::from_edges(
+        10,
+        &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 4),
+            (1, 6),
+            (2, 4),
+            (2, 5),
+            (3, 5),
+            (4, 6),
+            (4, 7),
+            (5, 7),
+            (5, 8),
+            (6, 9),
+            (7, 9),
+            (8, 9),
+        ],
+    )
+}
+
+fn fixture_inputs() -> (Graph, PathSelection, PairSet, u64) {
+    // Deterministic scheme + explicit pair list: covers the sparse
+    // layout, multiple path lengths and an empty-direction entry is
+    // avoided (all listed pairs are connected).
+    let pairs = PairSet::Pairs(vec![(0, 9), (9, 0), (2, 7), (8, 1)]);
+    (fixture_graph(), PathSelection::Ksp(3), pairs, 2021)
+}
+
+fn fixture_bytes() -> Vec<u8> {
+    let (g, sel, pairs, seed) = fixture_inputs();
+    let table = PathTable::compute(&g, sel, &pairs, seed);
+    let key = CacheKey::new(&g, sel, &pairs, seed);
+    encode_table(&table, &key)
+}
+
+/// Run once (with `-- --ignored`) to (re)create the committed fixture.
+#[test]
+#[ignore = "regenerates the golden fixture; run explicitly after format changes"]
+fn regenerate() {
+    std::fs::write(fixture_path(), fixture_bytes()).unwrap();
+}
+
+#[test]
+fn golden_bytes_are_stable() {
+    let golden = std::fs::read(fixture_path()).expect("committed fixture present");
+    assert_eq!(
+        fixture_bytes(),
+        golden,
+        "jellyfish-ptab v1 encoding changed; if intentional, bump the format \
+         version and regenerate the fixture"
+    );
+}
+
+#[test]
+fn golden_fixture_parses_back_to_the_table() {
+    let golden = std::fs::read(fixture_path()).expect("committed fixture present");
+    let (g, sel, pairs, seed) = fixture_inputs();
+    let (key, table) = decode_table(&golden).expect("fixture must parse");
+    assert_eq!(key, CacheKey::new(&g, sel, &pairs, seed));
+    assert_eq!(key.selection(), Some(sel));
+    assert_eq!(table, PathTable::compute(&g, sel, &pairs, seed));
+    // Spot-check content: KSP(3) from S1 (0) to D1 (9) starts with the
+    // unique 3-hop path.
+    assert_eq!(table.get(0, 9).unwrap().path(0), &[0, 1, 6, 9]);
+    // decode_key agrees with the full parse.
+    assert_eq!(decode_key(&golden).unwrap(), key);
+}
+
+#[test]
+fn every_truncation_errors_instead_of_panicking() {
+    let golden = std::fs::read(fixture_path()).expect("committed fixture present");
+    for len in 0..golden.len() {
+        let r = decode_table(&golden[..len]);
+        assert!(r.is_err(), "truncation to {len} bytes must be rejected");
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut bytes = std::fs::read(fixture_path()).unwrap();
+    bytes[0] = b'X';
+    assert!(matches!(decode_table(&bytes), Err(CacheError::BadMagic)));
+}
+
+#[test]
+fn version_skew_is_rejected_before_checksum() {
+    let mut bytes = std::fs::read(fixture_path()).unwrap();
+    bytes[8] = 99; // version field (LE u32 after the 8-byte magic)
+    assert!(matches!(decode_table(&bytes), Err(CacheError::BadVersion(99))));
+}
+
+#[test]
+fn any_flipped_bit_fails_the_checksum() {
+    let golden = std::fs::read(fixture_path()).unwrap();
+    // Flip one bit in several positions across the body (past the
+    // version field, before the checksum itself).
+    for pos in [12, 20, golden.len() / 2, golden.len() - 9] {
+        let mut bytes = golden.clone();
+        bytes[pos] ^= 0x40;
+        let r = decode_table(&bytes);
+        assert!(
+            matches!(r, Err(CacheError::BadChecksum)),
+            "flip at {pos} gave {r:?} instead of BadChecksum"
+        );
+    }
+}
+
+#[test]
+fn checksum_itself_is_covered() {
+    let mut bytes = std::fs::read(fixture_path()).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    assert!(matches!(decode_table(&bytes), Err(CacheError::BadChecksum)));
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = std::fs::read(fixture_path()).unwrap();
+    bytes.extend_from_slice(&[0u8; 16]);
+    // Appending bytes breaks the trailing checksum position.
+    assert!(decode_table(&bytes).is_err());
+}

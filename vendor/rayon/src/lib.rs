@@ -20,7 +20,18 @@ pub mod prelude {
 }
 
 /// Number of worker threads used for parallel evaluation.
+///
+/// Honors `RAYON_NUM_THREADS` (like real rayon's default pool) so tests
+/// can force serial or fixed-width execution; otherwise the machine's
+/// available parallelism.
 pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
