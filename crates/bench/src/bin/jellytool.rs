@@ -14,15 +14,15 @@
 //!
 //! jellytool faults --switches N --ports X --net-ports Y [--seed S]
 //!                  [--fault-seed F] [--k K] [--mech NAME] [--rates CSV]
-//!                  [--pattern perm|uniform] [--paper true] [--out FILE]
-//!                  [--metrics FILE]
+//!                  [--pattern perm|uniform] [--paper true] [--audit true]
+//!                  [--out FILE] [--metrics FILE]
 //!     sweep link-failure rates (default 0-5%) across KSP/rKSP/EDKSP/
 //!     rEDKSP and emit per-scheme saturation throughput as JSON
 //!
 //! jellytool stats --switches N --ports X --net-ports Y [--seed S] [--k K]
 //!                 [--selection NAME] [--mech NAME] [--rate R]
 //!                 [--pattern perm|uniform] [--paper true] [--stride C]
-//!                 [--out FILE] [--metrics FILE]
+//!                 [--audit true] [--out FILE] [--metrics FILE]
 //!     run one simulation and emit a JSON observability report: latency
 //!     percentiles (p50/p90/p99/p999) always; the per-link utilization
 //!     heatmap and occupancy/credit-stall time series when built with
@@ -39,6 +39,12 @@
 //! `table`, `faults` and `stats` additionally accept `--cache-dir DIR`:
 //! path tables are then loaded from (and stored into) the cache instead
 //! of being recomputed. Results are bit-identical either way.
+//!
+//! `faults` and `stats` accept `--audit true` (builds with `--features
+//! audit`): every simulation then runs under the per-cycle invariant
+//! auditor, which panics with a structured diagnostic on the first
+//! conservation, routing, or forward-progress violation. Results are
+//! bit-identical with and without the auditor.
 //!
 //! Unknown flags are rejected (against a per-subcommand allowlist), as
 //! are duplicate flags and flag-like values: `--out --seed` is a missing
@@ -62,8 +68,8 @@ fn usage() -> ! {
         "usage:\n  jellytool topo  --switches N --ports X --net-ports Y [--seed S] [--dot FILE]\n  \
          jellytool paths --switches N --ports X --net-ports Y --src A --dst B [--seed S] [--k K]\n  \
          jellytool table --switches N --ports X --net-ports Y --selection <sp|ksp|rksp|edksp|redksp> --out FILE [--seed S] [--k K]\n  \
-         jellytool faults --switches N --ports X --net-ports Y [--seed S] [--fault-seed F] [--k K] [--mech <sp|random|rr|ugal|ksp-ugal|adaptive>] [--rates CSV] [--pattern perm|uniform] [--paper true] [--out FILE] [--metrics FILE]\n  \
-         jellytool stats --switches N --ports X --net-ports Y [--seed S] [--k K] [--selection NAME] [--mech NAME] [--rate R] [--pattern perm|uniform] [--paper true] [--stride C] [--out FILE] [--metrics FILE]\n  \
+         jellytool faults --switches N --ports X --net-ports Y [--seed S] [--fault-seed F] [--k K] [--mech <sp|random|rr|ugal|ksp-ugal|adaptive>] [--rates CSV] [--pattern perm|uniform] [--paper true] [--audit true] [--out FILE] [--metrics FILE]\n  \
+         jellytool stats --switches N --ports X --net-ports Y [--seed S] [--k K] [--selection NAME] [--mech NAME] [--rate R] [--pattern perm|uniform] [--paper true] [--stride C] [--audit true] [--out FILE] [--metrics FILE]\n  \
          jellytool cache <warm|stats|clear> --cache-dir DIR [--switches N --ports X --net-ports Y] [--seed S] [--selection NAME|all] [--k K]\n\
          (table/faults/stats also accept --cache-dir DIR to reuse cached path tables)"
     );
@@ -176,6 +182,19 @@ fn install_cache(flags: &HashMap<String, String>) {
     }
 }
 
+/// Installs the process-wide invariant auditor if `--audit true` was
+/// given: every simulation the command runs then executes under the
+/// per-cycle conservation, routing, and forward-progress checks and
+/// panics with a flight-recorder diagnostic on the first violation.
+fn enable_audit(flags: &HashMap<String, String>) {
+    if flags.contains_key("audit") {
+        #[cfg(feature = "audit")]
+        jellyfish_flitsim::audit::install_global(jellyfish_flitsim::AuditConfig::default());
+        #[cfg(not(feature = "audit"))]
+        eprintln!("note: --audit has no effect without --features audit");
+    }
+}
+
 /// Dumps the global metrics registry (and resets it) as
 /// `jellyfish-metrics v1` text if `--metrics FILE` was given.
 fn dump_metrics(flags: &HashMap<String, String>) {
@@ -204,6 +223,7 @@ fn main() {
                 "rates",
                 "pattern",
                 "paper",
+                "audit",
                 "out",
                 "metrics",
                 "cache-dir",
@@ -219,6 +239,7 @@ fn main() {
                 "pattern",
                 "paper",
                 "stride",
+                "audit",
                 "out",
                 "metrics",
                 "cache-dir",
@@ -351,6 +372,7 @@ fn cache_cmd(action: &str, flags: &HashMap<String, String>) {
 
 fn faults(flags: &HashMap<String, String>) {
     install_cache(flags);
+    enable_audit(flags);
     let params = RrgParams::new(
         required(flags, "switches"),
         required(flags, "ports"),
@@ -425,6 +447,7 @@ fn json_num(v: f64) -> String {
 
 fn stats(flags: &HashMap<String, String>) {
     install_cache(flags);
+    enable_audit(flags);
     let (params, net, seed) = network(flags);
     let k: usize = num(flags, "k").unwrap_or(8);
     let sel = selection(flags.get("selection").map(String::as_str).unwrap_or("redksp"), k);

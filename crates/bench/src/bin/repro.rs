@@ -20,6 +20,9 @@
 //! flags:
 //!   --paper         full paper-scale instance counts and volumes
 //!   --seed N        base RNG seed (default 2021)
+//!   --audit         run every simulation under the per-cycle invariant
+//!                   auditor (builds with --features audit; results are
+//!                   bit-identical, violations panic with a diagnostic)
 //!   --metrics FILE  dump timing spans and run counters collected during
 //!                   the experiment as jellyfish-metrics v1 text
 //!   --cache-dir DIR load/store path tables through the content-addressed
@@ -38,7 +41,7 @@ fn usage() -> ! {
         "usage: repro <table1|table2|table3|table4|properties|fig4..fig13|table5|table6|\
          collectives|ablation-k|ablation-llskr|ablation-construction|ablation-ugal-bias|\
          ablation-estimate|ablation-flits|ablation-injection|ablations|faults|all> [--paper] \
-         [--seed N] [--metrics FILE] [--cache-dir DIR]"
+         [--seed N] [--audit] [--metrics FILE] [--cache-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -52,6 +55,12 @@ fn main() {
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--paper" => scale = Scale::Paper,
+            "--audit" => {
+                #[cfg(feature = "audit")]
+                jellyfish_flitsim::audit::install_global(jellyfish_flitsim::AuditConfig::default());
+                #[cfg(not(feature = "audit"))]
+                eprintln!("note: --audit has no effect without --features audit");
+            }
             "--seed" => {
                 seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }

@@ -13,7 +13,7 @@
 use crate::scale::Scale;
 use jellyfish::prelude::*;
 use jellyfish::JellyfishNetwork;
-use jellyfish_flitsim::{run_at, RunResult, SweepConfig};
+use jellyfish_flitsim::{saturation_search, RunResult, SweepConfig};
 use jellyfish_routing::PairSet;
 use jellyfish_topology::FaultPlan;
 use rand::rngs::StdRng;
@@ -148,21 +148,7 @@ pub fn fault_sweep(
     // by failures can never sustain its offered load at any rate.
     let choked = |r: &RunResult| r.saturated || r.dropped * 200 > r.generated;
     let degraded_saturation = |cfg: &SweepConfig<'_>, pattern: &PacketDestinations| {
-        let steps = (1.0 / resolution).round() as u32;
-        if !choked(&run_at(cfg, pattern, 1.0)) {
-            return 1.0;
-        }
-        let mut lo = 0u32; // rate 0 trivially survives
-        let mut hi = steps;
-        while hi - lo > 1 {
-            let mid = (lo + hi) / 2;
-            if choked(&run_at(cfg, pattern, mid as f64 * resolution)) {
-                hi = mid;
-            } else {
-                lo = mid;
-            }
-        }
-        lo as f64 * resolution
+        saturation_search(cfg, pattern, resolution, choked)
     };
 
     let instances = traffic_instances.len();

@@ -26,6 +26,8 @@
 //! UGAL) when the packet is generated, using downstream-credit queue
 //! estimates for the adaptive schemes.
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod config;
 pub mod mechanism;
 #[cfg(feature = "obs")]
@@ -36,10 +38,14 @@ pub mod sweep;
 #[doc(hidden)]
 pub mod test_util;
 
+#[cfg(feature = "audit")]
+pub use audit::{AuditConfig, AuditEvent, Violation};
 pub use config::SimConfig;
 pub use mechanism::Mechanism;
 #[cfg(feature = "obs")]
 pub use observe::{ObserveConfig, SimMetrics};
 pub use sim::Simulator;
 pub use stats::{read_result, write_result, ResultReadError, RunResult};
-pub use sweep::{latency_curve, run_at, saturation_throughput, LoadPoint, SweepConfig};
+pub use sweep::{
+    latency_curve, run_at, saturation_search, saturation_throughput, LoadPoint, SweepConfig,
+};

@@ -6,6 +6,8 @@
 //! friendly; the simulator is single-threaded (cycle accuracy fixes the
 //! event order) and sweeps parallelize across runs in [`crate::sweep`].
 
+#[cfg(feature = "audit")]
+use crate::audit::{self, AuditConfig, AuditEvent, Auditor, Violation};
 use crate::config::{EstimateForm, InjectionProcess, SimConfig};
 use crate::mechanism::Mechanism;
 #[cfg(feature = "obs")]
@@ -167,6 +169,19 @@ pub struct Simulator<'a> {
     dropped: u64,
     /// Packets rerouted around a failed link over the whole run.
     rerouted: u64,
+    /// Packets injected over the whole run (warmup included) — the
+    /// conservation ledger's debit side.
+    generated_total: u64,
+    /// Packets ejected over the whole run (warmup included).
+    ejected_total: u64,
+    /// Cycle of the most recent ejection (meaningful once
+    /// `ejected_total > 0`).
+    last_ejection: u32,
+    /// Per-cycle invariant auditor, attached via
+    /// [`Simulator::with_auditor`] or the global
+    /// [`crate::audit::install_global`] configuration.
+    #[cfg(feature = "audit")]
+    auditor: Option<Auditor>,
 
     cycle: u32,
     // scratch (reused each router/cycle to keep the hot loop allocation
@@ -255,6 +270,11 @@ impl<'a> Simulator<'a> {
             next_fault: 0,
             dropped: 0,
             rerouted: 0,
+            generated_total: 0,
+            ejected_total: 0,
+            last_ejection: 0,
+            #[cfg(feature = "audit")]
+            auditor: audit::global_config().map(Auditor::new),
             cycle: 0,
             reqs: Vec::with_capacity(256),
             out_heads: vec![-1; max_out],
@@ -367,13 +387,24 @@ impl<'a> Simulator<'a> {
                 out.extend_from_slice(pick);
             }
             Mechanism::KspUgal => {
-                // Minimal = first table path; non-minimal = random other.
-                let min = ps.path(0);
+                // Minimal = shortest table path; non-minimal = random
+                // other. The selection schemes all emit length-sorted
+                // paths, but repaired or externally loaded tables make
+                // no ordering promise, so the minimal path is selected
+                // by length rather than assumed to sit at index 0.
+                let mi = ps.shortest_index();
+                let min = ps.path(mi);
                 if k == 1 {
                     out.extend_from_slice(min);
                     return;
                 }
-                let j = self.rng.random_range(1..k);
+                // One draw over the k-1 non-minimal indices; for sorted
+                // tables (mi == 0) this consumes the RNG identically to
+                // a draw over 1..k.
+                let mut j = self.rng.random_range(0..k - 1);
+                if j >= mi {
+                    j += 1;
+                }
                 let non = ps.path(j);
                 let take_min =
                     self.estimate(min) as i64 <= self.estimate(non) as i64 + self.cfg.ugal_bias;
@@ -381,7 +412,7 @@ impl<'a> Simulator<'a> {
             }
             Mechanism::VanillaUgal => {
                 let sp = self.sp_table.expect("checked in new()");
-                let min = ps.path(0);
+                let min = ps.path(ps.shortest_index());
                 let n = self.graph.num_nodes() as u32;
                 // Random intermediate distinct from both endpoints.
                 let mut inter = self.rng.random_range(0..n);
@@ -444,6 +475,9 @@ impl<'a> Simulator<'a> {
             }
             let id = self.arena.alloc(dst, self.cycle);
             self.src_q[h as usize].push_back(id);
+            self.generated_total += 1;
+            #[cfg(feature = "audit")]
+            self.audit_record(AuditEvent::Inject { cycle: self.cycle, host: h, packet: id });
             if measuring {
                 *generated += 1;
             }
@@ -498,6 +532,13 @@ impl<'a> Simulator<'a> {
                     if self.arena.get(pkt).path.is_empty() {
                         // No surviving route to the destination.
                         self.src_q[h].pop_front();
+                        #[cfg(feature = "audit")]
+                        self.audit_record(AuditEvent::Drop {
+                            cycle: self.cycle,
+                            router: r,
+                            qi: u32::MAX,
+                            packet: pkt,
+                        });
                         self.arena.release(pkt);
                         self.dropped += 1;
                         continue;
@@ -505,6 +546,13 @@ impl<'a> Simulator<'a> {
                 }
                 if self.fault_view.is_some() && !self.fault_fate(pkt, r) {
                     self.src_q[h].pop_front();
+                    #[cfg(feature = "audit")]
+                    self.audit_record(AuditEvent::Drop {
+                        cycle: self.cycle,
+                        router: r,
+                        qi: u32::MAX,
+                        packet: pkt,
+                    });
                     self.arena.release(pkt);
                     self.dropped += 1;
                     continue;
@@ -616,15 +664,26 @@ impl<'a> Simulator<'a> {
                     // Ejection: packet leaves the network.
                     let pkt = self.arena.get(req.packet);
                     let latency = (self.cycle - pkt.gen_cycle) as u64;
+                    let hops = (pkt.hop as usize).min(self.hop_hist.len() - 1);
+                    #[cfg(feature = "audit")]
+                    let host = pkt.dst_host;
                     if measuring {
                         acc.record(latency);
                         self.lat_hist.record(latency);
                         *ejected += 1;
                         self.min_lat = self.min_lat.min(latency);
                         self.max_lat = self.max_lat.max(latency);
-                        let hops = (pkt.hop as usize).min(self.hop_hist.len() - 1);
                         self.hop_hist[hops] += 1;
                     }
+                    self.ejected_total += 1;
+                    self.last_ejection = self.cycle;
+                    #[cfg(feature = "audit")]
+                    self.audit_record(AuditEvent::Eject {
+                        cycle: self.cycle,
+                        router: r,
+                        host,
+                        packet: req.packet,
+                    });
                     self.arena.release(req.packet);
                 } else {
                     // Onto the channel; consume the downstream credits.
@@ -634,6 +693,13 @@ impl<'a> Simulator<'a> {
                     if measuring {
                         self.link_sends[req.qi_next as usize / self.num_vcs] += 1;
                     }
+                    #[cfg(feature = "audit")]
+                    self.audit_record(AuditEvent::Forward {
+                        cycle: self.cycle,
+                        router: r,
+                        qi: req.qi_next,
+                        packet: req.packet,
+                    });
                     // Tail flit lands after serialization + wire delay.
                     let arrive =
                         self.cycle + self.cfg.channel_latency + self.cfg.packet_flits as u32 - 1;
@@ -692,6 +758,12 @@ impl<'a> Simulator<'a> {
                 pkt.path.extend_from_slice(&tail[1..]);
                 pkt.retries = 0;
                 self.rerouted += 1;
+                #[cfg(feature = "audit")]
+                self.audit_record(AuditEvent::Reroute {
+                    cycle: self.cycle,
+                    router: r,
+                    packet: pkt_id,
+                });
                 true
             }
             None => {
@@ -710,6 +782,11 @@ impl<'a> Simulator<'a> {
         let popped = self.in_buf[qi as usize].pop_front().expect("head exists");
         if self.in_buf[qi as usize].is_empty() {
             self.vc_occ[qi as usize / self.num_vcs] &= !(1 << (qi as usize % self.num_vcs));
+        }
+        #[cfg(feature = "audit")]
+        {
+            let router = self.graph.link_dst((qi / self.num_vcs as u32) as LinkId);
+            self.audit_record(AuditEvent::Drop { cycle: self.cycle, router, qi, packet: popped });
         }
         self.arena.release(popped);
         self.dropped += 1;
@@ -735,6 +812,11 @@ impl<'a> Simulator<'a> {
         if self.next_fault == first {
             return;
         }
+        #[cfg(feature = "audit")]
+        self.audit_record(AuditEvent::Fault {
+            cycle: self.cycle,
+            events: (self.next_fault - first) as u32,
+        });
         // Refresh the degraded routing table: mask dead paths and — when
         // modelling a reconverging control plane — repair the affected
         // pairs on the surviving fabric, trimming any repaired route
@@ -759,6 +841,13 @@ impl<'a> Simulator<'a> {
                     i += 1;
                 } else {
                     self.chan[slot].swap_remove(i);
+                    #[cfg(feature = "audit")]
+                    self.audit_record(AuditEvent::Drop {
+                        cycle: self.cycle,
+                        router: self.graph.link_dst(link),
+                        qi,
+                        packet: pkt,
+                    });
                     self.arena.release(pkt);
                     self.dropped += 1;
                 }
@@ -773,6 +862,13 @@ impl<'a> Simulator<'a> {
                 for vc in 0..self.num_vcs as u16 {
                     let qi = self.qi(in_link, vc) as usize;
                     while let Some(p) = self.in_buf[qi].pop_front() {
+                        #[cfg(feature = "audit")]
+                        self.audit_record(AuditEvent::Drop {
+                            cycle: self.cycle,
+                            router: node,
+                            qi: qi as u32,
+                            packet: p,
+                        });
                         self.arena.release(p);
                         self.dropped += 1;
                     }
@@ -884,6 +980,9 @@ impl<'a> Simulator<'a> {
             self.generate(measuring, &mut generated);
             // 3. Switch allocation + transfers.
             self.allocate(measuring, &mut acc, &mut ejected);
+            // 4. End-of-cycle invariant audit (never perturbs the run).
+            #[cfg(feature = "audit")]
+            self.audit_cycle();
 
             self.cycle += 1;
             if measuring {
@@ -899,7 +998,15 @@ impl<'a> Simulator<'a> {
                 acc.end_window();
                 window_cycles = 0;
                 let worst = acc.window_means().last().copied().unwrap_or(f64::NAN);
-                if worst > self.cfg.saturation_latency || (worst.is_nan() && self.arena.live() > 0)
+                // An empty window only signals saturation once traffic
+                // has actually flowed (>= 1 ejection) AND packets are
+                // stuck inside the network rather than merely queued at
+                // sources: with warmup_cycles = 0 a window shorter than
+                // the zero-load flight time legitimately closes with
+                // zero ejections while every live packet still sits in
+                // a source queue.
+                if worst > self.cfg.saturation_latency
+                    || (worst.is_nan() && self.stalled_in_network())
                 {
                     early_saturated = true;
                     break;
@@ -917,12 +1024,22 @@ impl<'a> Simulator<'a> {
         debug_assert_eq!(acc.total_ejected(), ejected);
 
         let sample_latencies = acc.window_means();
-        let in_flight = self.arena.live() as u64;
+        // Same guarded empty-window verdict as the early-exit check:
+        // an all-NaN run whose packets never left the source queues
+        // (or never existed) is idle, not saturated.
+        let stalled = self.stalled_in_network();
         let saturated = early_saturated
             || self.overflowed
             || sample_latencies
                 .iter()
-                .any(|m| m.is_nan() && in_flight > 0 || *m > self.cfg.saturation_latency);
+                .any(|m| m.is_nan() && stalled || *m > self.cfg.saturation_latency);
+        #[cfg(all(feature = "audit", feature = "obs"))]
+        if let Some(aud) = &self.auditor {
+            let _span = jellyfish_obs::span("flitsim.audit.report");
+            let mut reg = jellyfish_obs::global();
+            reg.counter_add("flitsim.audit.cycles", aud.cycles_checked());
+            reg.counter_add("flitsim.audit.events", aud.events_recorded());
+        }
         // Normalize rates by the cycles actually measured, not by the
         // configured measurement length: early termination would
         // otherwise deflate `accepted` and every link utilization.
@@ -973,6 +1090,304 @@ impl<'a> Simulator<'a> {
         let measured = u64::from(self.cycle.saturating_sub(self.cfg.warmup_cycles)).max(1);
         let utils = self.link_sends.iter().map(|&s| s as f64 / measured as f64).collect();
         Some(obs.into_metrics(utils, self.lat_hist.clone()))
+    }
+
+    /// True when traffic has flowed (>= 1 ejection ever), no packet has
+    /// ejected for longer than the zero-load flight bound, and live
+    /// packets occupy the network proper — input buffers or wires —
+    /// rather than only source queues. Gates the empty-sample-window
+    /// saturation verdict: during startup (no warmup, windows shorter
+    /// than the flight time) empty windows are legitimate, not
+    /// saturation. For realistic configurations (`sample_cycles` well
+    /// above the flight bound) the verdict is unchanged.
+    fn stalled_in_network(&self) -> bool {
+        if self.ejected_total == 0 {
+            return false;
+        }
+        // Longest a packet can take across an idle network: wire plus
+        // serialization per traversal, one traversal per VC, plus one
+        // extra term of injection/ejection slack.
+        let flight = (self.cfg.channel_latency as u64 + self.cfg.packet_flits as u64)
+            * (self.num_vcs as u64 + 1);
+        if u64::from(self.cycle - self.last_ejection) <= flight {
+            return false;
+        }
+        let src_queued: usize = self.src_q.iter().map(VecDeque::len).sum();
+        self.arena.live() > src_queued
+    }
+
+    /// Attaches the runtime invariant auditor. Must be called before
+    /// [`Self::run`]. Auditing never perturbs the simulation — results
+    /// stay byte-identical with and without it — and a broken invariant
+    /// panics with a structured [`Violation`] diagnostic including the
+    /// flight-recorder dump.
+    #[cfg(feature = "audit")]
+    pub fn with_auditor(mut self, cfg: AuditConfig) -> Self {
+        assert_eq!(self.cycle, 0, "attach auditors before running");
+        self.auditor = Some(Auditor::new(cfg));
+        self
+    }
+
+    /// Feeds one event to the flight recorder, if an auditor is attached.
+    #[cfg(feature = "audit")]
+    #[inline]
+    fn audit_record(&mut self, ev: AuditEvent) {
+        if let Some(a) = self.auditor.as_mut() {
+            a.record(ev);
+        }
+    }
+
+    /// End-of-cycle audit entry point: runs every invariant check and
+    /// panics with the structured [`Violation`] on the first failure.
+    #[cfg(feature = "audit")]
+    fn audit_cycle(&mut self) {
+        let Some(mut a) = self.auditor.take() else { return };
+        let verdict = self.audit_invariants(&mut a);
+        a.bump_cycles_checked();
+        self.auditor = Some(a);
+        if let Err(v) = verdict {
+            panic!("{v}");
+        }
+    }
+
+    /// The invariant checks proper. Read-only over simulator state (the
+    /// auditor's scratch tallies are the only mutation), so auditing
+    /// cannot perturb the run.
+    #[cfg(feature = "audit")]
+    fn audit_invariants(&self, a: &mut Auditor) -> Result<(), Violation> {
+        let cycle = self.cycle;
+        // Packet conservation: every packet ever generated is ejected,
+        // dropped, or live in the arena...
+        let live = self.arena.live() as u64;
+        if self.generated_total != self.ejected_total + self.dropped + live {
+            return Err(a.violation(
+                "packet-conservation",
+                cycle,
+                format!(
+                    "generated {} != ejected {} + dropped {} + live {}",
+                    self.generated_total, self.ejected_total, self.dropped, live
+                ),
+            ));
+        }
+        // ...and every live packet sits in exactly one queue.
+        let src_queued: u64 = self.src_q.iter().map(|q| q.len() as u64).sum();
+        let buffered: u64 = self.in_buf.iter().map(|q| q.len() as u64).sum();
+        let on_wire: u64 = self.chan.iter().map(|s| s.len() as u64).sum();
+        if live != src_queued + buffered + on_wire {
+            return Err(a.violation(
+                "packet-location",
+                cycle,
+                format!(
+                    "live {live} != source-queued {src_queued} + buffered {buffered} \
+                     + on-wire {on_wire}"
+                ),
+            ));
+        }
+        // Credit conservation per live (link, vc). Dead links are
+        // exempt: fault drops retire packets without returning credits
+        // (and `fail_switch` fails every incident link, so the same
+        // test covers switch failures).
+        let nq = self.in_buf.len();
+        a.reset_scratch(nq);
+        for slot in &self.chan {
+            for &(_, qi) in slot {
+                a.chan_in_flight[qi as usize] += 1;
+            }
+        }
+        for slot in &self.cred {
+            for &qi in slot {
+                a.cred_pending[qi as usize] += 1;
+            }
+        }
+        let flits = self.cfg.packet_flits as u64;
+        for qi in 0..nq {
+            let link = (qi / self.num_vcs) as LinkId;
+            if let Some(view) = &self.fault_view {
+                if !view.link_is_live(link) {
+                    continue;
+                }
+            }
+            let occupancy = self.in_buf[qi].len() as u64
+                + a.chan_in_flight[qi] as u64
+                + a.cred_pending[qi] as u64;
+            let have = self.credits[qi] as u64 + flits * occupancy;
+            if have != self.cfg.vc_buffer as u64 {
+                let (u, v) = (self.graph.link_src(link), self.graph.link_dst(link));
+                return Err(a.violation(
+                    "credit-conservation",
+                    cycle,
+                    format!(
+                        "link {link} ({u}->{v}) vc {}: credits {} + {flits} flit(s) x \
+                         (buffered {} + on-wire {} + pending-returns {}) = {have}, \
+                         want vc_buffer {}",
+                        qi % self.num_vcs,
+                        self.credits[qi],
+                        self.in_buf[qi].len(),
+                        a.chan_in_flight[qi],
+                        a.cred_pending[qi],
+                        self.cfg.vc_buffer
+                    ),
+                ));
+            }
+        }
+        // vc_occ bitmask agrees with input-buffer emptiness.
+        for link in 0..self.vc_occ.len() {
+            for vc in 0..self.num_vcs {
+                let qi = link * self.num_vcs + vc;
+                let bit = self.vc_occ[link] & (1 << vc) != 0;
+                if bit == self.in_buf[qi].is_empty() {
+                    return Err(a.violation(
+                        "occupancy-mask",
+                        cycle,
+                        format!(
+                            "link {link} vc {vc}: vc_occ bit {bit} but buffer holds {} packet(s)",
+                            self.in_buf[qi].len()
+                        ),
+                    ));
+                }
+            }
+        }
+        // Route validity for every queued packet.
+        for (h, q) in self.src_q.iter().enumerate() {
+            for &pid in q {
+                self.audit_packet(a, pid, None, Some(h as u32))?;
+            }
+        }
+        for qi in 0..nq {
+            for &pid in &self.in_buf[qi] {
+                self.audit_packet(a, pid, Some((qi as u32, false)), None)?;
+            }
+        }
+        for slot in &self.chan {
+            for &(pid, qi) in slot {
+                self.audit_packet(a, pid, Some((qi, true)), None)?;
+            }
+        }
+        // Forward-progress watchdog: packets live, nothing moving.
+        if live > 0 && a.stalled(cycle) {
+            return Err(a.violation(
+                "forward-progress",
+                cycle,
+                format!(
+                    "no grant, ejection, or drop for {} cycles with {live} live packet(s) \
+                     — deadlock/livelock",
+                    a.stall_cycles(cycle)
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Per-packet route checks: the packet sits where its hop index
+    /// claims, its remaining route follows graph edges and fits the
+    /// hop-indexed VC budget, and a packet on a wire occupies a live
+    /// link. (Edges *further along* the route may legitimately be dead:
+    /// reroute/retry handles them when the packet reaches the head.)
+    #[cfg(feature = "audit")]
+    fn audit_packet(
+        &self,
+        a: &mut Auditor,
+        pid: PacketId,
+        net: Option<(u32, bool)>,
+        src_host: Option<u32>,
+    ) -> Result<(), Violation> {
+        let pkt = self.arena.get(pid);
+        let hop = pkt.hop as usize;
+        if let Some(h) = src_host {
+            if hop != 0 {
+                return Err(a.violation(
+                    "route-validity",
+                    self.cycle,
+                    format!("pkt {pid} in source queue of host {h} has hop {hop} != 0"),
+                ));
+            }
+            if pkt.path.is_empty() {
+                return Ok(()); // routed on first observation at the head
+            }
+            let sw = self.params.switch_of_host(h as usize);
+            if pkt.path[0] != sw {
+                return Err(a.violation(
+                    "route-validity",
+                    self.cycle,
+                    format!(
+                        "pkt {pid} at host {h} (switch {sw}) routes from switch {}",
+                        pkt.path[0]
+                    ),
+                ));
+            }
+        } else {
+            let (qi, on_wire) = net.expect("network packets carry a queue index");
+            let link = (qi / self.num_vcs as u32) as LinkId;
+            let vc = qi as usize % self.num_vcs;
+            // Hop-indexed VCs: the packet's h-th traversal uses VC h-1.
+            if hop != vc + 1 {
+                return Err(a.violation(
+                    "route-validity",
+                    self.cycle,
+                    format!("pkt {pid} on link {link} vc {vc}: hop {hop} != vc + 1"),
+                ));
+            }
+            if hop >= pkt.path.len() || pkt.path[hop] != self.graph.link_dst(link) {
+                return Err(a.violation(
+                    "route-validity",
+                    self.cycle,
+                    format!(
+                        "pkt {pid} on link {link} (-> {}) but its route puts hop {hop} at {:?}",
+                        self.graph.link_dst(link),
+                        pkt.path.get(hop)
+                    ),
+                ));
+            }
+            if on_wire {
+                if let Some(view) = &self.fault_view {
+                    if !view.link_is_live(link) {
+                        return Err(a.violation(
+                            "route-validity",
+                            self.cycle,
+                            format!("pkt {pid} flying on dead link {link}"),
+                        ));
+                    }
+                }
+            }
+        }
+        let hops_total = pkt.path.len().saturating_sub(1);
+        if hops_total > self.num_vcs {
+            return Err(a.violation(
+                "route-validity",
+                self.cycle,
+                format!(
+                    "pkt {pid} route of {hops_total} hops exceeds the {} hop-indexed VCs",
+                    self.num_vcs
+                ),
+            ));
+        }
+        for w in pkt.path[hop..].windows(2) {
+            if self.graph.link_id(w[0], w[1]).is_none() {
+                return Err(a.violation(
+                    "route-validity",
+                    self.cycle,
+                    format!("pkt {pid} route uses nonexistent edge {} -> {}", w[0], w[1]),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Test hook (`audit` feature): corrupts one credit counter so the
+    /// seeded-violation tests can verify the auditor catches it.
+    #[cfg(feature = "audit")]
+    #[doc(hidden)]
+    pub fn audit_corrupt_credit(&mut self, link: LinkId, vc: u16) {
+        let qi = self.qi(link, vc) as usize;
+        self.credits[qi] -= 1;
+    }
+
+    /// Test hook (`audit` feature): permanently blocks a host's
+    /// ejection port so the watchdog tests can manufacture a livelock.
+    #[cfg(feature = "audit")]
+    #[doc(hidden)]
+    pub fn audit_block_ejection(&mut self, host: u32) {
+        self.out_free[self.graph.num_links() + host as usize] = u32::MAX;
     }
 }
 
@@ -1431,6 +1846,225 @@ mod tests {
                     .with_fault_plan(&plan);
             let r = sim.run();
             assert!(r.ejected > 0, "{mech:?} delivered nothing: {r:?}");
+        }
+    }
+
+    /// 4-switch ring (one host per switch) with an UNSORTED path table
+    /// for every ordered pair: the long way around first, the short way
+    /// second — a layout a deserialized or hand-built table may legally
+    /// present (the selection schemes always sort, `from_paths` does
+    /// not).
+    fn ring_with_unsorted_table() -> (Graph, RrgParams, PathTable) {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let p = RrgParams::new(4, 3, 2);
+        let walk = |from: u32, to: u32, step: u32| {
+            let mut v = vec![from];
+            let mut cur = from;
+            while cur != to {
+                cur = (cur + step) % 4;
+                v.push(cur);
+            }
+            v
+        };
+        type Entry = ((NodeId, NodeId), Vec<Vec<NodeId>>);
+        let mut entries: Vec<Entry> = Vec::new();
+        for s in 0..4u32 {
+            for d in 0..4u32 {
+                if s == d {
+                    continue;
+                }
+                let mut paths = vec![walk(s, d, 1), walk(s, d, 3)];
+                paths.sort_by_key(|path| std::cmp::Reverse(path.len())); // longest first
+                entries.push(((s, d), paths));
+            }
+        }
+        let t = PathTable::from_paths(
+            4,
+            entries.iter().map(|((s, d), paths)| ((*s, *d), paths.as_slice())),
+        );
+        (g, p, t)
+    }
+
+    #[test]
+    fn ugal_selects_minimal_path_by_length_not_table_index() {
+        // Regression: KSP-UGAL assumed `path(0)` is minimal. On the
+        // unsorted ring table the adjacent pairs list their 3-hop detour
+        // first, so the old code routed "minimally" the long way around.
+        let (g, p, t) = ring_with_unsorted_table();
+        let mut cfg = SimConfig::paper();
+        cfg.ugal_bias = 1_000_000; // always take the minimal path
+        let mut sim = Simulator::new(&g, p, &t, None, Mechanism::KspUgal, uniform(&p), 0.1, cfg);
+        let r = sim.run();
+        assert!(!r.saturated && r.ejected > 0, "{r:?}");
+        // Adjacent-pair traffic must use its 1-hop path; opposite pairs
+        // are 2 hops either way; nothing minimal takes 3 hops.
+        assert!(r.hop_histogram[1] > 0, "{:?}", r.hop_histogram);
+        assert_eq!(r.hop_histogram[3], 0, "{:?}", r.hop_histogram);
+    }
+
+    #[test]
+    fn tiny_first_window_without_warmup_is_not_saturation() {
+        // Regression: with warmup_cycles = 0 a sample window shorter
+        // than the zero-load flight time closes with zero ejections
+        // while packets are merely source-queued or on their first
+        // wire; the empty-window verdict used to classify that as
+        // saturated.
+        let (g, p) = setup();
+        let t = table(p, PathSelection::REdKsp(4));
+        let mut cfg = SimConfig::paper();
+        cfg.warmup_cycles = 0;
+        cfg.sample_cycles = 4; // far below the ~12-cycle zero-load flight time
+        cfg.num_samples = 500; // keep the measured span at 2000 cycles
+        let mut sim = Simulator::new(&g, p, &t, None, Mechanism::Random, uniform(&p), 0.2, cfg);
+        let r = sim.run();
+        assert!(!r.saturated, "{r:?}");
+        assert!(r.ejected > 0, "{r:?}");
+    }
+
+    #[cfg(feature = "audit")]
+    mod audit {
+        use super::*;
+        use crate::audit::AuditConfig;
+        use jellyfish_traffic::Flow;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        fn violation_message(mut sim: Simulator<'_>) -> String {
+            let err = catch_unwind(AssertUnwindSafe(|| sim.run())).expect_err("must violate");
+            err.downcast_ref::<String>().expect("structured panic payload").clone()
+        }
+
+        #[test]
+        fn audited_run_is_byte_identical() {
+            let (g, p) = setup();
+            let t = table(p, PathSelection::REdKsp(4));
+            let run = |audited: bool| {
+                let mut sim = Simulator::new(
+                    &g,
+                    p,
+                    &t,
+                    None,
+                    Mechanism::KspUgal,
+                    uniform(&p),
+                    0.3,
+                    SimConfig::paper(),
+                );
+                if audited {
+                    sim = sim.with_auditor(AuditConfig::default());
+                }
+                sim.run()
+            };
+            assert_eq!(run(false), run(true));
+        }
+
+        #[test]
+        fn audited_fault_run_is_byte_identical_and_clean() {
+            let (g, p) = setup();
+            let t = table(p, PathSelection::RKsp(4));
+            let plan = FaultPlan::random_links(&g, 0.2, 100, 7);
+            let mut cfg = SimConfig::paper();
+            cfg.warmup_cycles = 0;
+            cfg.num_samples = 20;
+            let run = |audited: bool| {
+                let mut sim =
+                    Simulator::new(&g, p, &t, None, Mechanism::Random, uniform(&p), 0.05, cfg)
+                        .with_fault_plan(&plan);
+                if audited {
+                    sim = sim.with_auditor(AuditConfig::default());
+                }
+                sim.run()
+            };
+            let plain = run(false);
+            // The cut interacts with live traffic, so the audited run
+            // exercises the dead-link credit exemption and fault drops.
+            assert!(plain.rerouted + plain.dropped > 0, "{plain:?}");
+            assert_eq!(plain, run(true));
+        }
+
+        #[test]
+        fn audited_switch_failure_run_passes_all_invariants() {
+            let (g, p) = setup();
+            let t = table(p, PathSelection::RKsp(4));
+            let mut plan = FaultPlan::new();
+            plan.add_switch_failure(0, 3);
+            let mut cfg = SimConfig::paper();
+            cfg.warmup_cycles = 0;
+            let mut sim = Simulator::new(&g, p, &t, None, Mechanism::Random, uniform(&p), 0.1, cfg)
+                .with_fault_plan(&plan)
+                .with_auditor(AuditConfig::default());
+            let r = sim.run();
+            assert!(r.dropped > 0 && r.ejected > 0, "{r:?}");
+        }
+
+        #[test]
+        fn corrupted_credit_is_reported_with_invariant_and_link() {
+            let (g, p) = setup();
+            let t = table(p, PathSelection::Ksp(4));
+            let mut sim = Simulator::new(
+                &g,
+                p,
+                &t,
+                None,
+                Mechanism::Random,
+                uniform(&p),
+                0.1,
+                SimConfig::paper(),
+            )
+            .with_auditor(AuditConfig::default());
+            sim.audit_corrupt_credit(3, 0);
+            let msg = violation_message(sim);
+            assert!(msg.contains("audit violation: credit-conservation at cycle 0"), "{msg}");
+            assert!(msg.contains("link 3"), "{msg}");
+            assert!(msg.contains("vc 0"), "{msg}");
+        }
+
+        #[test]
+        fn blocked_ejection_trips_the_forward_progress_watchdog() {
+            // All traffic converges on host 0 whose ejection port never
+            // frees: the network clogs, every grant dries up, and the
+            // watchdog must call the livelock rather than spin silently.
+            let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+            let p = RrgParams::new(4, 3, 2);
+            let t = PathTable::compute(&g, PathSelection::Ksp(2), &PairSet::AllPairs, 0);
+            let flows = [1, 2, 3].map(|src| Flow { src, dst: 0 });
+            let pattern = PacketDestinations::from_flows(p.num_hosts(), &flows);
+            let mut cfg = SimConfig::paper();
+            cfg.warmup_cycles = 0;
+            cfg.num_samples = 40; // room for the clog plus the watchdog budget
+            cfg.source_queue_cap = 1 << 20; // overflow must not preempt the verdict
+            let mut sim = Simulator::new(&g, p, &t, None, Mechanism::SinglePath, pattern, 0.5, cfg)
+                .with_auditor(AuditConfig { watchdog_cycles: 300, ring_capacity: 16 });
+            sim.audit_block_ejection(0);
+            let msg = violation_message(sim);
+            assert!(msg.contains("audit violation: forward-progress"), "{msg}");
+            assert!(msg.contains("no grant, ejection, or drop for 300 cycles"), "{msg}");
+            assert!(msg.contains("deadlock/livelock"), "{msg}");
+            // The flight recorder still carries context (the stall is
+            // longer than the ring, so what remains are the injections
+            // that kept arriving while nothing moved).
+            assert!(msg.contains("flight recorder (oldest first):"), "{msg}");
+            assert!(msg.contains("inject"), "{msg}");
+        }
+
+        #[cfg(feature = "obs")]
+        #[test]
+        fn audited_run_reports_obs_counters() {
+            let (g, p) = setup();
+            let t = table(p, PathSelection::Ksp(4));
+            let before = jellyfish_obs::global().counter("flitsim.audit.cycles").unwrap_or(0);
+            let mut sim = Simulator::new(
+                &g,
+                p,
+                &t,
+                None,
+                Mechanism::Random,
+                uniform(&p),
+                0.05,
+                SimConfig::paper(),
+            )
+            .with_auditor(AuditConfig::default());
+            let _ = sim.run();
+            let after = jellyfish_obs::global().counter("flitsim.audit.cycles").unwrap_or(0);
+            assert!(after >= before + 5000, "cycles counter: {before} -> {after}");
         }
     }
 }

@@ -76,19 +76,49 @@ pub fn saturation_throughput(
     pattern: &PacketDestinations,
     resolution: f64,
 ) -> f64 {
+    saturation_search(cfg, pattern, resolution, |r| r.saturated)
+}
+
+/// Generalized saturation search: bisects the rate grid for the largest
+/// rate whose run does not satisfy `saturates` (assumed monotone in
+/// offered load). [`saturation_throughput`] instantiates it with the
+/// plain `RunResult::saturated` verdict; the fault experiments add a
+/// drop-rate criterion.
+pub fn saturation_search(
+    cfg: &SweepConfig<'_>,
+    pattern: &PacketDestinations,
+    resolution: f64,
+    saturates: impl Fn(&RunResult) -> bool,
+) -> f64 {
     assert!(resolution > 0.0 && resolution < 1.0, "bad resolution");
     let _span = jellyfish_obs::span("flitsim.saturation_search");
-    let steps = (1.0 / resolution).round() as u32;
-    // Bisect over integer step counts: lo survives, hi saturates.
-    if !run_at(cfg, pattern, 1.0).saturated {
+    // Largest step count whose grid rate stays within the valid [0, 1]
+    // injection range. `round()` absorbs float noise for divisor
+    // resolutions (1/0.05 = 19.999…); the walk-down then handles
+    // non-divisors whose rounded count overshoots (1/0.6 -> 2 would put
+    // the top grid rate at 1.2).
+    let mut steps = (1.0 / resolution).round().max(1.0) as u32;
+    while steps > 1 && steps as f64 * resolution > 1.0 + 1e-9 {
+        steps -= 1;
+    }
+    if !saturates(&run_at(cfg, pattern, 1.0)) {
         return 1.0;
     }
+    // Rate 1.0 saturates, but the top grid rate `steps * resolution` is
+    // below 1.0 for non-divisor resolutions and must be probed itself —
+    // seeding `hi = steps` untested would declare it saturating and
+    // return a rate up to a full grid step below the truth.
+    let top = steps as f64 * resolution;
+    if top < 1.0 - 1e-9 && !saturates(&run_at(cfg, pattern, top)) {
+        return top;
+    }
+    // Bisect over integer step counts: lo survives, hi saturates.
     let mut lo = 0u32; // rate 0 trivially survives
     let mut hi = steps;
     while hi - lo > 1 {
         let mid = (lo + hi) / 2;
         let rate = mid as f64 * resolution;
-        if run_at(cfg, pattern, rate).saturated {
+        if saturates(&run_at(cfg, pattern, rate)) {
             hi = mid;
         } else {
             lo = mid;
@@ -125,6 +155,7 @@ mod tests {
     use super::*;
     use crate::test_util;
     use jellyfish_routing::PathSelection;
+    use jellyfish_traffic::Flow;
     use std::sync::Arc;
 
     fn setup() -> (Arc<Graph>, RrgParams) {
@@ -199,6 +230,75 @@ mod tests {
         let single = saturation_throughput(&cfg, &u, 0.1);
         // Identical instances -> mean equals the single search.
         assert!((mean - single).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_divisor_resolution_probes_the_top_grid_rate() {
+        // Hand-built ring where link 0->1 carries 12/11 of the injection
+        // rate: flow h0->h1 crosses it with every packet, and flow
+        // h3->h2 routes 1 of its 11 paths (weighted by duplicating the
+        // direct path) across it. Rate 1.0 therefore overloads the link
+        // while the top grid rate of a 0.3-resolution sweep, 0.9, keeps
+        // it below capacity (utilization 0.98) — the true answer is 0.9.
+        // The old bisection never probed the top grid rate: it seeded
+        // `hi` as saturating from the rate-1.0 run and returned 0.6, a
+        // full grid step low.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let p = RrgParams::new(4, 3, 2); // 1 host per switch
+        let p01 = vec![vec![0u32, 1]];
+        let mut p32 = vec![vec![3u32, 0, 1, 2]]; // 1 of 11 paths uses 0->1
+        p32.extend(std::iter::repeat_n(vec![3u32, 2], 10));
+        let entries = [((0u32, 1u32), p01.as_slice()), ((3, 2), p32.as_slice())];
+        let t = PathTable::from_paths(4, entries.iter().map(|((s, d), ps)| ((*s, *d), *ps)));
+        let flows = [Flow { src: 0, dst: 1 }, Flow { src: 3, dst: 2 }];
+        let pattern = PacketDestinations::from_flows(p.num_hosts(), &flows);
+        let mut sim = SimConfig::paper();
+        sim.num_samples = 30; // the 12/11 overload needs ~20 windows to cross 500 cycles
+        let cfg = SweepConfig {
+            graph: &g,
+            params: p,
+            table: &t,
+            sp_table: None,
+            mechanism: Mechanism::Random,
+            faults: None,
+            sim,
+        };
+        assert!(run_at(&cfg, &pattern, 1.0).saturated, "overloaded link 0->1 must saturate");
+        assert!(!run_at(&cfg, &pattern, 0.9).saturated, "0.9 load is stable");
+        let sat = saturation_throughput(&cfg, &pattern, 0.3);
+        assert!((sat - 0.9).abs() < 1e-12, "found {sat}, want the top grid rate 0.9");
+    }
+
+    #[test]
+    fn saturation_search_clamps_and_walks_the_grid() {
+        let (g, p) = setup();
+        let table = table(p, PathSelection::RKsp(2));
+        let mut sim = SimConfig::paper();
+        sim.warmup_cycles = 50;
+        sim.sample_cycles = 100;
+        sim.num_samples = 2;
+        let cfg = SweepConfig {
+            graph: &g,
+            params: p,
+            table: &table,
+            sp_table: None,
+            mechanism: Mechanism::Random,
+            faults: None,
+            sim,
+        };
+        let u = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
+        // Synthetic monotone verdict: anything above 0.7 "saturates".
+        let by_rate = |r: &RunResult| r.offered > 0.7;
+        // 1/0.6 rounds to 2 steps (top rate 1.2): the grid must clamp
+        // to one step and return its probed top rate.
+        let sat = saturation_search(&cfg, &u, 0.6, by_rate);
+        assert!((sat - 0.6).abs() < 1e-12, "{sat}");
+        // Non-divisor 0.3: the top grid rate 0.9 saturates, 0.6 survives.
+        let sat = saturation_search(&cfg, &u, 0.3, by_rate);
+        assert!((sat - 0.6).abs() < 1e-12, "{sat}");
+        // Degenerate verdicts stay on the rails.
+        assert_eq!(saturation_search(&cfg, &u, 0.3, |_| false), 1.0);
+        assert_eq!(saturation_search(&cfg, &u, 0.3, |_| true), 0.0);
     }
 
     #[test]

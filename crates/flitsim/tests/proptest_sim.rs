@@ -1,10 +1,16 @@
 //! Property-based tests for the cycle-level simulator: conservation and
 //! sanity invariants over randomized small configurations.
+//!
+//! Built with `--features audit`, every case additionally runs under the
+//! per-cycle invariant auditor: packet/credit conservation, occupancy
+//! masks, route validity, and the forward-progress watchdog are then
+//! machine-checked on every cycle of every generated configuration, and
+//! any violation fails the case with a flight-recorder diagnostic.
 
 use jellyfish_flitsim::test_util;
 use jellyfish_flitsim::{Mechanism, SimConfig, Simulator};
 use jellyfish_routing::PathSelection;
-use jellyfish_topology::RrgParams;
+use jellyfish_topology::{FaultPlan, RrgParams};
 use jellyfish_traffic::PacketDestinations;
 use proptest::prelude::*;
 
@@ -16,6 +22,14 @@ fn mechanisms() -> impl Strategy<Value = Mechanism> {
         Just(Mechanism::KspUgal),
         Just(Mechanism::KspAdaptive),
     ]
+}
+
+/// Attaches the invariant auditor when the `audit` feature is on, so
+/// the whole suite doubles as a per-cycle conservation check.
+fn audited(sim: Simulator<'_>) -> Simulator<'_> {
+    #[cfg(feature = "audit")]
+    let sim = sim.with_auditor(jellyfish_flitsim::AuditConfig::default());
+    sim
 }
 
 proptest! {
@@ -37,7 +51,7 @@ proptest! {
         cfg.seed = seed;
         let pattern = PacketDestinations::Uniform { num_hosts: params.num_hosts() };
         let mut sim =
-            Simulator::new(&g, params, &table, None, mech, pattern, rate, cfg);
+            audited(Simulator::new(&g, params, &table, None, mech, pattern, rate, cfg));
         let r = sim.run();
         // Conservation: can't eject more than was ever generated
         // (warmup included, hence the slack term of warmup * hosts).
@@ -71,9 +85,45 @@ proptest! {
         cfg.num_samples = 3;
         cfg.seed = seed;
         let pattern = PacketDestinations::Uniform { num_hosts: params.num_hosts() };
-        let mut sim = Simulator::new(&g, params, &table, None, mech, pattern, 0.02, cfg);
+        let mut sim =
+            audited(Simulator::new(&g, params, &table, None, mech, pattern, 0.02, cfg));
         let r = sim.run();
         prop_assert!(!r.saturated, "{mech:?} saturated at 2% load: {r:?}");
         prop_assert!(r.avg_latency < 100.0, "{mech:?} latency {}", r.avg_latency);
+    }
+
+    /// Fault-injection runs: mid-run link failures with reroute/retry/
+    /// drop must keep every accounting identity intact. Under `audit`
+    /// this is the suite that exercises the dead-link credit exemption
+    /// and the fault-drop flight-recorder paths on random fabrics.
+    #[test]
+    fn fault_runs_keep_the_books_balanced(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        fraction in 0.02f64..0.25,
+        at_cycle in 0u64..400,
+        rate in 0.01f64..0.2,
+        mech in mechanisms(),
+    ) {
+        let params = RrgParams::new(10, 6, 4);
+        let g = test_util::graph(params, seed % 16);
+        let table = test_util::all_pairs_table(params, seed % 16, PathSelection::RKsp(3), seed);
+        let plan = FaultPlan::random_links(&g, fraction, at_cycle, fault_seed);
+        let mut cfg = SimConfig::paper();
+        cfg.warmup_cycles = 0; // faults land inside the measured span
+        cfg.num_samples = 4;
+        cfg.seed = seed;
+        let pattern = PacketDestinations::Uniform { num_hosts: params.num_hosts() };
+        let mut sim = audited(
+            Simulator::new(&g, params, &table, None, mech, pattern, rate, cfg)
+                .with_fault_plan(&plan),
+        );
+        let r = sim.run();
+        // Measured-window ledger: ejections are bounded by what was
+        // offered, and the hop histogram accounts for every ejection.
+        prop_assert!(r.ejected <= r.generated);
+        prop_assert_eq!(r.hop_histogram.iter().sum::<u64>(), r.ejected);
+        prop_assert!(r.accepted <= 1.0 + 1e-9);
+        prop_assert!(r.max_link_utilization <= 1.0 + 1e-9);
     }
 }

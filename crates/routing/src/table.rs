@@ -210,6 +210,23 @@ impl PathSet {
     pub fn max_hops(&self) -> usize {
         self.iter().map(|p| p.len() - 1).max().unwrap_or(0)
     }
+
+    /// Index of the shortest path (first such index on ties), 0 when
+    /// empty. The selection schemes emit length-sorted paths, where this
+    /// is trivially 0 — but repaired or externally loaded tables make no
+    /// ordering promise, so minimal-path consumers (UGAL) must select by
+    /// length rather than assume index 0.
+    pub fn shortest_index(&self) -> usize {
+        // Strict `<` keeps the first index on ties (`min_by_key` would
+        // keep the last, needlessly disturbing sorted tables).
+        let mut best = 0;
+        for i in 1..self.len() {
+            if self.hops(i) < self.hops(best) {
+                best = i;
+            }
+        }
+        best
+    }
 }
 
 /// Computed paths for a set of switch pairs.
@@ -554,7 +571,15 @@ impl PathTable {
             .par_iter()
             .map(|&(s, d)| {
                 let ps = with_thread_workspace(&degraded, |ws| {
-                    PathSet::from_paths(&selection.paths_for_pair_with(&degraded, s, d, seed, ws))
+                    let mut paths = selection.paths_for_pair_with(&degraded, s, d, seed, ws);
+                    // The schemes emit length-sorted paths already, but
+                    // enforce the ordering here so repaired pairs keep
+                    // the shortest-first invariant that minimal-path
+                    // consumers (UGAL) and tests may rely on, whatever
+                    // the scheme. Stable: equal-length paths keep their
+                    // scheme-given order.
+                    paths.sort_by_key(Vec::len);
+                    PathSet::from_paths(&paths)
                 });
                 ((s, d), ps)
             })
@@ -838,6 +863,39 @@ mod tests {
             assert_eq!(ps.len(), 4, "{}->{} not repaired", p.src, p.dst);
             for path in ps.iter() {
                 assert!(view.path_is_live(path), "repair produced a dead path");
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_index_selects_by_length_keeping_first_on_ties() {
+        // Unsorted set, the layout a deserialized table may present.
+        let ps = PathSet::from_paths(&[vec![0, 1, 2, 3], vec![0, 2, 3], vec![0, 3]]);
+        assert_eq!(ps.shortest_index(), 2);
+        // Sorted sets keep index 0, including on ties at minimal length.
+        let tie = PathSet::from_paths(&[vec![0, 1, 3], vec![0, 2, 3], vec![0, 4, 5, 3]]);
+        assert_eq!(tie.shortest_index(), 0);
+        assert_eq!(PathSet::default().shortest_index(), 0);
+    }
+
+    #[test]
+    fn repaired_pairs_are_length_sorted_shortest_first() {
+        use jellyfish_topology::{DegradedGraph, FaultPlan};
+        let g = small_graph();
+        let mut t = PathTable::compute(&g, PathSelection::Ksp(4), &PairSet::AllPairs, 0);
+        let plan = FaultPlan::random_links(&g, 0.1, 0, 33);
+        let view = DegradedGraph::at_time(&g, &plan, 0);
+        let report = t.apply_faults(&view);
+        assert!(!report.affected.is_empty());
+        t.repair(&view, &report.affected_pairs(), 0);
+        // Minimal-path consumers (UGAL) take `path(0)` as the minimal
+        // route, so every repaired pair must come back shortest-first.
+        for p in &report.affected {
+            let ps = t.get(p.src, p.dst).unwrap();
+            assert!(!ps.is_empty());
+            assert_eq!(ps.shortest_index(), 0, "{}->{} not shortest-first", p.src, p.dst);
+            for i in 1..ps.len() {
+                assert!(ps.hops(i - 1) <= ps.hops(i), "{}->{} unsorted after repair", p.src, p.dst);
             }
         }
     }

@@ -1,1 +1,12 @@
 //! Root package: integration tests and examples live here.
+
+/// Test support: installs the process-global invariant auditor when the
+/// workspace is built with `--features audit`, so every simulation the
+/// integration suites construct afterwards runs under per-cycle packet/
+/// credit conservation, route-validity, and forward-progress checks (a
+/// violation panics with a flight-recorder diagnostic). Idempotent —
+/// the first installation wins — and a no-op without the feature.
+pub fn audit_simulations() {
+    #[cfg(feature = "audit")]
+    jellyfish_flitsim::audit::install_global(jellyfish_flitsim::AuditConfig::default());
+}

@@ -9,6 +9,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn network() -> JellyfishNetwork {
+    // With `--features audit`, every simulation below runs under the
+    // per-cycle invariant auditor.
+    jellyfish_repro::audit_simulations();
     JellyfishNetwork::build(RrgParams::new(18, 12, 8), 99).unwrap()
 }
 

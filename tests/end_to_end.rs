@@ -12,6 +12,9 @@ use rand::SeedableRng;
 /// The paper's small topology: y = 16 >> k = 8, diameter >= 2 (so the
 /// vanilla-KSP bias is visible).
 fn network() -> JellyfishNetwork {
+    // With `--features audit`, every simulation below runs under the
+    // per-cycle invariant auditor.
+    jellyfish_repro::audit_simulations();
     JellyfishNetwork::build(RrgParams::small(), 2021).unwrap()
 }
 

@@ -11,6 +11,7 @@ use jellyfish_traffic::stencil_trace;
 
 #[test]
 fn reloaded_table_drives_identical_simulations() {
+    jellyfish_repro::audit_simulations(); // per-cycle checks under --features audit
     let net = JellyfishNetwork::build(RrgParams::new(12, 8, 5), 3).unwrap();
     let table = net.paths(PathSelection::REdKsp(4), &PairSet::AllPairs, 7);
 
@@ -89,6 +90,7 @@ fn fault_annotated_run_result_round_trips() {
     // the 500-cycle warmup) so in-flight packets hit dead wires and the
     // result carries nonzero fault counters, then a full write/read
     // round trip.
+    jellyfish_repro::audit_simulations(); // per-cycle checks under --features audit
     let net = JellyfishNetwork::build(RrgParams::new(12, 8, 5), 3).unwrap();
     let table = net.paths(PathSelection::REdKsp(4), &PairSet::AllPairs, 7);
     let plan = FaultPlan::random_links(net.graph(), 0.15, 1000, 11);

@@ -33,6 +33,7 @@ fn synthetic_patterns_run_through_the_model() {
 fn tornado_saturates_below_uniform_on_single_path() {
     // Tornado concentrates traffic; with single-path routing it must not
     // outperform uniform random on the same fabric.
+    jellyfish_repro::audit_simulations(); // per-cycle checks under --features audit
     let net = JellyfishNetwork::build(RrgParams::new(12, 6, 4), 4).unwrap();
     let hosts = net.params().num_hosts();
     let table = net.paths(PathSelection::SinglePath, &PairSet::AllPairs, 0);
