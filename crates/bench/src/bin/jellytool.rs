@@ -34,7 +34,22 @@
 //! jellytool cache clear --cache-dir DIR
 //!     manage the content-addressed path-table cache (`jellyfish-ptab v1`
 //!     files keyed on graph fingerprint, scheme, pair set and seed)
+//!
+//! jellytool bench [--quick|--full] [--runs N] [--filter SUBSTR]
+//!                 [--out-dir DIR] [--baseline FILE|DIR] [--tolerance PCT]
+//!     run the built-in performance suite (topology build, all-pairs
+//!     path precomputation per scheme, cache cold/warm, simulator
+//!     cycles/s, fault repair); each workload runs N times and writes
+//!     `BENCH_<name>.json` (`jellyfish-bench v1`: median + IQR + raw
+//!     samples). With --baseline, compares medians and exits nonzero
+//!     on any regression beyond the tolerance (default 25%)
 //! ```
+//!
+//! `table`, `faults`, `stats`, `cache` and `bench` accept `--trace FILE`:
+//! hierarchical tracing is then enabled for the whole command, the
+//! timeline is written to FILE as Chrome Trace Event Format JSON (load
+//! in `chrome://tracing` or Perfetto), and a flame summary with
+//! self-time attribution is printed to stderr.
 //!
 //! `table`, `faults` and `stats` additionally accept `--cache-dir DIR`:
 //! path tables are then loaded from (and stored into) the cache instead
@@ -70,8 +85,10 @@ fn usage() -> ! {
          jellytool table --switches N --ports X --net-ports Y --selection <sp|ksp|rksp|edksp|redksp> --out FILE [--seed S] [--k K]\n  \
          jellytool faults --switches N --ports X --net-ports Y [--seed S] [--fault-seed F] [--k K] [--mech <sp|random|rr|ugal|ksp-ugal|adaptive>] [--rates CSV] [--pattern perm|uniform] [--paper true] [--audit true] [--out FILE] [--metrics FILE]\n  \
          jellytool stats --switches N --ports X --net-ports Y [--seed S] [--k K] [--selection NAME] [--mech NAME] [--rate R] [--pattern perm|uniform] [--paper true] [--stride C] [--audit true] [--out FILE] [--metrics FILE]\n  \
-         jellytool cache <warm|stats|clear> --cache-dir DIR [--switches N --ports X --net-ports Y] [--seed S] [--selection NAME|all] [--k K]\n\
-         (table/faults/stats also accept --cache-dir DIR to reuse cached path tables)"
+         jellytool cache <warm|stats|clear> --cache-dir DIR [--switches N --ports X --net-ports Y] [--seed S] [--selection NAME|all] [--k K]\n  \
+         jellytool bench [--quick|--full] [--runs N] [--filter SUBSTR] [--out-dir DIR] [--baseline FILE|DIR] [--tolerance PCT]\n\
+         (table/faults/stats also accept --cache-dir DIR to reuse cached path tables;\n\
+          table/faults/stats/cache/bench accept --trace FILE for a Chrome-trace timeline)"
     );
     std::process::exit(2);
 }
@@ -80,24 +97,33 @@ const COMMON_FLAGS: [&str; 4] = ["switches", "ports", "net-ports", "seed"];
 
 /// Parses `--name value` pairs, rejecting anything not in `allowed`,
 /// duplicates, and flag-like values (a following `--x` is a missing
-/// value, not a value).
-fn try_parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
+/// value, not a value). Names in `bools` are valueless switches
+/// (`--quick`) stored as `"true"`.
+fn try_parse_flags(
+    args: &[String],
+    allowed: &[&str],
+    bools: &[&str],
+) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, got {flag:?}"));
         };
-        if !allowed.contains(&name) {
+        let value = if bools.contains(&name) {
+            "true".to_string()
+        } else if allowed.contains(&name) {
+            let Some(value) = it.next() else {
+                return Err(format!("--{name} needs a value"));
+            };
+            if value.starts_with("--") {
+                return Err(format!("--{name} needs a value, got flag {value:?}"));
+            }
+            value.clone()
+        } else {
             return Err(format!("unknown flag --{name}"));
-        }
-        let Some(value) = it.next() else {
-            return Err(format!("--{name} needs a value"));
         };
-        if value.starts_with("--") {
-            return Err(format!("--{name} needs a value, got flag {value:?}"));
-        }
-        if map.insert(name.to_string(), value.clone()).is_some() {
+        if map.insert(name.to_string(), value).is_some() {
             return Err(format!("duplicate flag --{name}"));
         }
     }
@@ -105,8 +131,16 @@ fn try_parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, 
 }
 
 fn parse_flags(args: &[String], extra: &[&str]) -> HashMap<String, String> {
+    parse_flags_with_bools(args, extra, &[])
+}
+
+fn parse_flags_with_bools(
+    args: &[String],
+    extra: &[&str],
+    bools: &[&str],
+) -> HashMap<String, String> {
     let allowed: Vec<&str> = COMMON_FLAGS.iter().chain(extra).copied().collect();
-    try_parse_flags(args, &allowed).unwrap_or_else(|e| {
+    try_parse_flags(args, &allowed, bools).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         usage()
     })
@@ -207,13 +241,34 @@ fn dump_metrics(flags: &HashMap<String, String>) {
     }
 }
 
+/// Turns hierarchical tracing on if `--trace FILE` was given. Must run
+/// before any instrumented work so the timeline starts at the root.
+fn enable_trace(flags: &HashMap<String, String>) {
+    if flags.contains_key("trace") {
+        jellyfish_obs::trace::enable(jellyfish_obs::trace::TraceConfig::default());
+    }
+}
+
+/// If tracing was enabled, drains the trace, writes Chrome Trace Event
+/// Format JSON to the `--trace` file, and prints the flame summary
+/// (self-time attribution per span name) to stderr.
+fn dump_trace(flags: &HashMap<String, String>) {
+    if let Some(path) = flags.get("trace") {
+        jellyfish_obs::trace::disable();
+        let trace = jellyfish_obs::trace::take();
+        std::fs::write(path, trace.to_chrome_json()).expect("write trace file");
+        eprint!("{}", trace.render_flame());
+        eprintln!("wrote trace to {path} ({} events)", trace.len());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else { usage() };
     match cmd.as_str() {
         "topo" => topo(&parse_flags(rest, &["dot"])),
         "paths" => paths(&parse_flags(rest, &["src", "dst", "k"])),
-        "table" => table(&parse_flags(rest, &["selection", "out", "k", "cache-dir"])),
+        "table" => table(&parse_flags(rest, &["selection", "out", "k", "cache-dir", "trace"])),
         "faults" => faults(&parse_flags(
             rest,
             &[
@@ -227,6 +282,7 @@ fn main() {
                 "out",
                 "metrics",
                 "cache-dir",
+                "trace",
             ],
         )),
         "stats" => stats(&parse_flags(
@@ -243,12 +299,18 @@ fn main() {
                 "out",
                 "metrics",
                 "cache-dir",
+                "trace",
             ],
         )),
         "cache" => {
             let Some((action, rest)) = rest.split_first() else { usage() };
-            cache_cmd(action, &parse_flags(rest, &["cache-dir", "selection", "k"]));
+            cache_cmd(action, &parse_flags(rest, &["cache-dir", "selection", "k", "trace"]));
         }
+        "bench" => bench_cmd(&parse_flags_with_bools(
+            rest,
+            &["runs", "out-dir", "baseline", "tolerance", "filter", "trace"],
+            &["quick", "full"],
+        )),
         _ => usage(),
     }
 }
@@ -306,6 +368,7 @@ fn paths(flags: &HashMap<String, String>) {
 }
 
 fn cache_cmd(action: &str, flags: &HashMap<String, String>) {
+    enable_trace(flags);
     let dir = flags.get("cache-dir").unwrap_or_else(|| {
         eprintln!("cache requires --cache-dir DIR");
         usage()
@@ -368,11 +431,13 @@ fn cache_cmd(action: &str, flags: &HashMap<String, String>) {
             usage()
         }
     }
+    dump_trace(flags);
 }
 
 fn faults(flags: &HashMap<String, String>) {
     install_cache(flags);
     enable_audit(flags);
+    enable_trace(flags);
     let params = RrgParams::new(
         required(flags, "switches"),
         required(flags, "ports"),
@@ -414,10 +479,12 @@ fn faults(flags: &HashMap<String, String>) {
         None => print!("{json}"),
     }
     dump_metrics(flags);
+    dump_trace(flags);
 }
 
 fn table(flags: &HashMap<String, String>) {
     install_cache(flags);
+    enable_trace(flags);
     let (_, net, seed) = network(flags);
     let k: usize = num(flags, "k").unwrap_or(8);
     let sel_name = flags.get("selection").map(String::as_str).unwrap_or_else(|| usage());
@@ -433,6 +500,7 @@ fn table(flags: &HashMap<String, String>) {
         table.max_hops(),
         t0.elapsed()
     );
+    dump_trace(flags);
 }
 
 /// One JSON number token (`null` for NaN/Inf — JSON has no such
@@ -448,6 +516,7 @@ fn json_num(v: f64) -> String {
 fn stats(flags: &HashMap<String, String>) {
     install_cache(flags);
     enable_audit(flags);
+    enable_trace(flags);
     let (params, net, seed) = network(flags);
     let k: usize = num(flags, "k").unwrap_or(8);
     let sel = selection(flags.get("selection").map(String::as_str).unwrap_or("redksp"), k);
@@ -455,6 +524,12 @@ fn stats(flags: &HashMap<String, String>) {
     let rate: f64 = num(flags, "rate").unwrap_or(0.3);
     let scale = if flags.contains_key("paper") { Scale::Paper } else { Scale::Quick };
     let stride: u32 = num(flags, "stride").unwrap_or(64);
+    // Validate here, not deep inside the simulator's observer, so a bad
+    // value is a usage error rather than a panic.
+    if stride == 0 {
+        eprintln!("error: --stride must be >= 1 (sampling every stride-th cycle)");
+        usage()
+    }
     #[cfg(not(feature = "obs"))]
     if flags.contains_key("stride") {
         eprintln!("note: --stride has no effect without --features obs");
@@ -556,6 +631,77 @@ fn stats(flags: &HashMap<String, String>) {
         None => print!("{out}"),
     }
     dump_metrics(flags);
+    dump_trace(flags);
+}
+
+fn bench_cmd(flags: &HashMap<String, String>) {
+    use jellyfish_bench::experiments::bench as bench_exp;
+
+    enable_trace(flags);
+    if flags.contains_key("quick") && flags.contains_key("full") {
+        eprintln!("error: --quick and --full are mutually exclusive");
+        usage()
+    }
+    let tier =
+        if flags.contains_key("full") { bench_exp::Tier::Full } else { bench_exp::Tier::Quick };
+    let runs: usize = num(flags, "runs").unwrap_or(5);
+    if runs == 0 {
+        eprintln!("error: --runs must be >= 1");
+        usage()
+    }
+    let tolerance: f64 = num(flags, "tolerance").unwrap_or(25.0);
+    if tolerance.is_nan() || tolerance < 0.0 {
+        eprintln!("error: --tolerance must be a percentage >= 0");
+        usage()
+    }
+    let out_dir = std::path::PathBuf::from(flags.get("out-dir").map(String::as_str).unwrap_or("."));
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+
+    let results = bench_exp::run_suite(tier, runs, flags.get("filter").map(String::as_str));
+    if results.is_empty() {
+        eprintln!("error: no workload matches --filter {:?}", flags.get("filter").unwrap());
+        std::process::exit(2);
+    }
+    for r in &results {
+        let path = out_dir.join(r.file_name());
+        std::fs::write(&path, r.to_json()).expect("write bench report");
+        eprintln!("wrote {}", path.display());
+    }
+
+    let mut failed = false;
+    if let Some(base_path) = flags.get("baseline") {
+        let baseline =
+            bench_exp::read_baseline(std::path::Path::new(base_path)).unwrap_or_else(|e| {
+                eprintln!("error: cannot read baseline: {e}");
+                std::process::exit(2);
+            });
+        let comparisons = bench_exp::compare_to_baseline(&results, &baseline, tolerance);
+        println!(
+            "{:<18} {:>14} {:>14} {:>9}  verdict (tolerance {tolerance}%)",
+            "workload", "baseline ns", "current ns", "delta"
+        );
+        for c in &comparisons {
+            println!(
+                "{:<18} {:>14} {:>14} {:>+8.1}%  {}",
+                c.name,
+                c.baseline_ns,
+                c.current_ns,
+                c.delta_pct,
+                if c.regressed { "REGRESSION" } else { "ok" }
+            );
+            failed |= c.regressed;
+        }
+        for r in &results {
+            if !baseline.contains_key(&r.name) {
+                println!("{:<18} {:>14} {:>14}     new    no baseline", r.name, "-", r.median_ns);
+            }
+        }
+    }
+    dump_trace(flags);
+    if failed {
+        eprintln!("bench: performance regression detected");
+        std::process::exit(1);
+    }
 }
 
 #[cfg(test)]
@@ -570,15 +716,15 @@ mod tests {
 
     #[test]
     fn accepts_known_flags() {
-        let flags =
-            try_parse_flags(&args(&["--switches", "12", "--out", "x.json"]), &ALLOWED).unwrap();
+        let flags = try_parse_flags(&args(&["--switches", "12", "--out", "x.json"]), &ALLOWED, &[])
+            .unwrap();
         assert_eq!(flags["switches"], "12");
         assert_eq!(flags["out"], "x.json");
     }
 
     #[test]
     fn rejects_unknown_flags() {
-        let err = try_parse_flags(&args(&["--bogus", "1"]), &ALLOWED).unwrap_err();
+        let err = try_parse_flags(&args(&["--bogus", "1"]), &ALLOWED, &[]).unwrap_err();
         assert!(err.contains("unknown flag --bogus"), "{err}");
     }
 
@@ -586,28 +732,42 @@ mod tests {
     fn rejects_flag_as_value() {
         // `--out --seed` must not silently consume `--seed` as the file
         // name.
-        let err = try_parse_flags(&args(&["--out", "--seed"]), &ALLOWED).unwrap_err();
+        let err = try_parse_flags(&args(&["--out", "--seed"]), &ALLOWED, &[]).unwrap_err();
         assert!(err.contains("--out needs a value"), "{err}");
     }
 
     #[test]
     fn rejects_missing_value_and_duplicates() {
-        let err = try_parse_flags(&args(&["--seed"]), &ALLOWED).unwrap_err();
+        let err = try_parse_flags(&args(&["--seed"]), &ALLOWED, &[]).unwrap_err();
         assert!(err.contains("--seed needs a value"), "{err}");
-        let err = try_parse_flags(&args(&["--seed", "1", "--seed", "2"]), &ALLOWED).unwrap_err();
+        let err =
+            try_parse_flags(&args(&["--seed", "1", "--seed", "2"]), &ALLOWED, &[]).unwrap_err();
         assert!(err.contains("duplicate flag --seed"), "{err}");
     }
 
     #[test]
     fn rejects_bare_words() {
-        let err = try_parse_flags(&args(&["seed", "1"]), &ALLOWED).unwrap_err();
+        let err = try_parse_flags(&args(&["seed", "1"]), &ALLOWED, &[]).unwrap_err();
         assert!(err.contains("expected a --flag"), "{err}");
     }
 
     #[test]
     fn negative_like_values_are_fine() {
         // A single leading dash is a value, not a flag.
-        let flags = try_parse_flags(&args(&["--out", "-"]), &ALLOWED).unwrap();
+        let flags = try_parse_flags(&args(&["--out", "-"]), &ALLOWED, &[]).unwrap();
         assert_eq!(flags["out"], "-");
+    }
+
+    #[test]
+    fn bool_flags_take_no_value() {
+        // `--quick` consumes nothing: the next token is still parsed as
+        // a flag of its own.
+        let flags =
+            try_parse_flags(&args(&["--quick", "--seed", "3"]), &ALLOWED, &["quick"]).unwrap();
+        assert_eq!(flags["quick"], "true");
+        assert_eq!(flags["seed"], "3");
+        let err =
+            try_parse_flags(&args(&["--quick", "--quick"]), &ALLOWED, &["quick"]).unwrap_err();
+        assert!(err.contains("duplicate flag --quick"), "{err}");
     }
 }

@@ -25,6 +25,10 @@
 //!                   bit-identical, violations panic with a diagnostic)
 //!   --metrics FILE  dump timing spans and run counters collected during
 //!                   the experiment as jellyfish-metrics v1 text
+//!   --trace FILE    record a hierarchical trace of the experiment and
+//!                   write it as Chrome Trace Event Format JSON (open in
+//!                   chrome://tracing or Perfetto); a flame summary with
+//!                   self-time attribution is printed to stderr
 //!   --cache-dir DIR load/store path tables through the content-addressed
 //!                   cache (bit-identical results, much faster reruns)
 //! ```
@@ -41,7 +45,7 @@ fn usage() -> ! {
         "usage: repro <table1|table2|table3|table4|properties|fig4..fig13|table5|table6|\
          collectives|ablation-k|ablation-llskr|ablation-construction|ablation-ugal-bias|\
          ablation-estimate|ablation-flits|ablation-injection|ablations|faults|all> [--paper] \
-         [--seed N] [--audit] [--metrics FILE] [--cache-dir DIR]"
+         [--seed N] [--audit] [--metrics FILE] [--trace FILE] [--cache-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -52,6 +56,7 @@ fn main() {
     let mut scale = Scale::Quick;
     let mut seed = 2021u64;
     let mut metrics: Option<String> = None;
+    let mut trace: Option<String> = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--paper" => scale = Scale::Paper,
@@ -70,6 +75,14 @@ fn main() {
                     usage();
                 }
                 metrics = Some(path);
+            }
+            "--trace" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                if path.starts_with("--") {
+                    usage();
+                }
+                jellyfish_obs::trace::enable(jellyfish_obs::trace::TraceConfig::default());
+                trace = Some(path);
             }
             "--cache-dir" => {
                 let dir = args.next().unwrap_or_else(|| usage());
@@ -97,6 +110,13 @@ fn main() {
         jellyfish_obs::write_metrics(&registry, &mut buf).expect("serialize metrics");
         std::fs::write(&path, buf).expect("write metrics file");
         eprintln!("wrote metrics to {path}");
+    }
+    if let Some(path) = trace {
+        jellyfish_obs::trace::disable();
+        let tr = jellyfish_obs::trace::take();
+        std::fs::write(&path, tr.to_chrome_json()).expect("write trace file");
+        eprint!("{}", tr.render_flame());
+        eprintln!("wrote trace to {path} ({} events)", tr.len());
     }
 }
 

@@ -1,0 +1,171 @@
+//! End-to-end CLI contracts for `jellytool`: the `--stride 0` usage
+//! error (regression test for the old divide-by-zero panic) and the
+//! `bench` regression gate's exit codes against doctored baselines.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn jellytool(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_jellytool")).args(args).output().expect("spawn jellytool")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("jellytool-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// `stats --stride 0` used to panic with a divide-by-zero deep inside
+/// the observer; it must be a flag-validation usage error instead.
+#[test]
+fn stats_stride_zero_is_a_usage_error_not_a_panic() {
+    let out = jellytool(&[
+        "stats",
+        "--switches",
+        "10",
+        "--ports",
+        "6",
+        "--net-ports",
+        "4",
+        "--stride",
+        "0",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "usage error exit code; stderr: {stderr}");
+    assert!(stderr.contains("--stride must be >= 1"), "actionable message: {stderr}");
+    assert!(!stderr.contains("panicked"), "must not panic: {stderr}");
+}
+
+/// The bench gate end to end: reports written in the v1 schema, exit 0
+/// against a generous baseline, exit 1 against a deflated one (current
+/// run reads as slower than baseline → regression).
+#[test]
+fn bench_gate_exits_nonzero_on_regression() {
+    let out_dir = temp_dir("bench-out");
+    let out_str = out_dir.to_str().unwrap();
+
+    // One cheap workload, one run: writes BENCH_topo_build.json.
+    let out = jellytool(&[
+        "bench",
+        "--quick",
+        "--runs",
+        "1",
+        "--filter",
+        "topo_build",
+        "--out-dir",
+        out_str,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let report = out_dir.join("BENCH_topo_build.json");
+    let text = std::fs::read_to_string(&report).expect("bench report written");
+    assert!(text.contains("\"schema\": \"jellyfish-bench v1\""), "{text}");
+    assert!(text.contains("\"name\": \"topo_build\""), "{text}");
+
+    // Deflated baseline (1 ns median): any real run regresses past 25%.
+    let baseline = out_dir.join("baseline-slow.json");
+    std::fs::write(
+        &baseline,
+        "{\"schema\": \"jellyfish-bench v1\", \"name\": \"topo_build\", \"params\": \"x\", \
+         \"runs\": 1, \"samples_ns\": [1], \"median_ns\": 1, \"iqr_ns\": 0}",
+    )
+    .unwrap();
+    let out = jellytool(&[
+        "bench",
+        "--quick",
+        "--runs",
+        "1",
+        "--filter",
+        "topo_build",
+        "--out-dir",
+        out_str,
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--tolerance",
+        "25",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "regression must fail the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("performance regression detected"), "{stderr}");
+
+    // Generous baseline (absurdly slow): the same run passes.
+    let generous = out_dir.join("baseline-fast.json");
+    std::fs::write(
+        &generous,
+        "{\"schema\": \"jellyfish-bench v1\", \"name\": \"topo_build\", \"params\": \"x\", \
+         \"runs\": 1, \"samples_ns\": [900000000000], \"median_ns\": 900000000000, \
+         \"iqr_ns\": 0}",
+    )
+    .unwrap();
+    let out = jellytool(&[
+        "bench",
+        "--quick",
+        "--runs",
+        "1",
+        "--filter",
+        "topo_build",
+        "--out-dir",
+        out_str,
+        "--baseline",
+        generous.to_str().unwrap(),
+        "--tolerance",
+        "25",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok"));
+
+    // A pre-v1 baseline is a configuration error (exit 2), not a pass.
+    let old = out_dir.join("baseline-old.json");
+    std::fs::write(&old, "{\"bench\": \"topo_build\", \"results_us_per_iter\": {}}").unwrap();
+    let out = jellytool(&[
+        "bench",
+        "--quick",
+        "--runs",
+        "1",
+        "--filter",
+        "topo_build",
+        "--out-dir",
+        out_str,
+        "--baseline",
+        old.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "pre-v1 baseline must be rejected");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regenerate"), "hint expected");
+
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+/// `--trace FILE` on a stats run writes a parseable Chrome trace with
+/// routing spans in it, and prints the flame summary to stderr.
+#[test]
+fn stats_trace_flag_writes_chrome_json() {
+    let out_dir = temp_dir("stats-trace");
+    let trace = out_dir.join("t.json");
+    let out = jellytool(&[
+        "stats",
+        "--switches",
+        "10",
+        "--ports",
+        "6",
+        "--net-ports",
+        "4",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let doc = jellyfish_obs::json::parse_json(&text).expect("chrome trace parses");
+    assert_eq!(
+        doc.get("otherData").unwrap().get("format").unwrap().as_str(),
+        Some("jellyfish-trace v1")
+    );
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+    assert!(!events.is_empty());
+    assert!(text.contains("routing.pair.compute"), "routing work traced");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("wrote trace to"), "{stderr}");
+    assert!(stderr.contains("self-time sum"), "flame summary on stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&out_dir);
+}

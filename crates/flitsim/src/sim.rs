@@ -489,9 +489,17 @@ impl<'a> Simulator<'a> {
     fn allocate(&mut self, measuring: bool, acc: &mut SampleAccumulator, ejected: &mut u64) {
         let n = self.graph.num_nodes() as NodeId;
         let hps = self.params.hosts_per_switch();
+        // Per-router phase spans (route / arbitrate / eject) are the
+        // finest trace granularity; they run on a sparser stride than the
+        // cycle-stage spans so full sweeps stay cheap.
+        #[cfg(feature = "obs")]
+        let detail = jellyfish_obs::trace::enabled()
+            && self.cycle.is_multiple_of(jellyfish_obs::trace::detail_stride());
         for r in 0..n {
             let deg = self.graph.degree(r);
             let out_base = self.graph.out_links(r).start;
+            #[cfg(feature = "obs")]
+            let route_span = detail.then(|| jellyfish_obs::trace::span("flitsim.phase.route"));
             // Gather requests.
             self.reqs.clear();
             // Network inputs: local in-port i is the reverse direction of
@@ -568,9 +576,13 @@ impl<'a> Simulator<'a> {
                     self.reqs.push(req);
                 }
             }
+            #[cfg(feature = "obs")]
+            drop(route_span);
             if self.reqs.is_empty() {
                 continue;
             }
+            #[cfg(feature = "obs")]
+            let arb_span = detail.then(|| jellyfish_obs::trace::span("flitsim.phase.arbitrate"));
 
             // Separable allocation with `alloc_iters` iterations: each
             // output grants at most one request per cycle (channel bound);
@@ -629,6 +641,10 @@ impl<'a> Simulator<'a> {
                 }
             }
 
+            #[cfg(feature = "obs")]
+            drop(arb_span);
+            #[cfg(feature = "obs")]
+            let _eject_span = detail.then(|| jellyfish_obs::trace::span("flitsim.phase.eject"));
             // Apply grants.
             let grants = std::mem::take(&mut self.grants);
             for &ridx in &grants {
@@ -939,6 +955,7 @@ impl<'a> Simulator<'a> {
     /// otherwise accumulate millions of queued packets for no
     /// information. Non-saturated runs are unaffected.
     pub fn run(&mut self) -> RunResult {
+        let _run_span = jellyfish_obs::span("flitsim.sim.run");
         let total = self.cfg.total_cycles();
         let mut acc = SampleAccumulator::default();
         let mut generated = 0u64;
@@ -961,25 +978,42 @@ impl<'a> Simulator<'a> {
                     );
                 }
             }
-            // 0. Cut links/switches whose failure time is due, before the
-            //    wire delivers: packets on a cut wire are lost.
-            self.apply_pending_faults();
-            // 1. Deliver channel arrivals and credit returns due now.
-            let slot = self.cycle as usize % self.chan.len();
-            let arrivals = std::mem::take(&mut self.chan[slot]);
-            for (pkt, qi) in arrivals {
-                self.in_buf[qi as usize].push_back(pkt);
-                self.vc_occ[qi as usize / self.num_vcs] |= 1 << (qi as usize % self.num_vcs);
+            // Per-cycle stage spans for the trace timeline: strided so a
+            // full sweep stays within the tracing overhead budget.
+            #[cfg(feature = "obs")]
+            let trace_cycle = jellyfish_obs::trace::enabled()
+                && self.cycle.is_multiple_of(jellyfish_obs::trace::cycle_stride());
+            {
+                #[cfg(feature = "obs")]
+                let _t = trace_cycle.then(|| jellyfish_obs::trace::span("flitsim.cycle.traverse"));
+                // 0. Cut links/switches whose failure time is due, before
+                //    the wire delivers: packets on a cut wire are lost.
+                self.apply_pending_faults();
+                // 1. Deliver channel arrivals and credit returns due now.
+                let slot = self.cycle as usize % self.chan.len();
+                let arrivals = std::mem::take(&mut self.chan[slot]);
+                for (pkt, qi) in arrivals {
+                    self.in_buf[qi as usize].push_back(pkt);
+                    self.vc_occ[qi as usize / self.num_vcs] |= 1 << (qi as usize % self.num_vcs);
+                }
+                let returns = std::mem::take(&mut self.cred[slot]);
+                for qi in returns {
+                    self.credits[qi as usize] += self.cfg.packet_flits;
+                    debug_assert!(self.credits[qi as usize] <= self.cfg.vc_buffer);
+                }
             }
-            let returns = std::mem::take(&mut self.cred[slot]);
-            for qi in returns {
-                self.credits[qi as usize] += self.cfg.packet_flits;
-                debug_assert!(self.credits[qi as usize] <= self.cfg.vc_buffer);
+            {
+                #[cfg(feature = "obs")]
+                let _t = trace_cycle.then(|| jellyfish_obs::trace::span("flitsim.cycle.inject"));
+                // 2. Inject new traffic.
+                self.generate(measuring, &mut generated);
             }
-            // 2. Inject new traffic.
-            self.generate(measuring, &mut generated);
-            // 3. Switch allocation + transfers.
-            self.allocate(measuring, &mut acc, &mut ejected);
+            {
+                #[cfg(feature = "obs")]
+                let _t = trace_cycle.then(|| jellyfish_obs::trace::span("flitsim.cycle.allocate"));
+                // 3. Switch allocation + transfers.
+                self.allocate(measuring, &mut acc, &mut ejected);
+            }
             // 4. End-of-cycle invariant audit (never perturbs the run).
             #[cfg(feature = "audit")]
             self.audit_cycle();

@@ -1,0 +1,66 @@
+//! Zero-perturbation contract for hierarchical tracing: running the
+//! simulator with tracing enabled must produce a byte-identical
+//! `RunResult` to the same run with tracing disabled. Tracing only
+//! timestamps work that already happens; it must never change it.
+
+use jellyfish_flitsim::test_util;
+use jellyfish_flitsim::{write_result, Mechanism, SimConfig, Simulator};
+use jellyfish_routing::{PathSelection, PathTable};
+use jellyfish_topology::{Graph, RrgParams};
+use jellyfish_traffic::PacketDestinations;
+use std::sync::Arc;
+
+fn setup(seed: u64) -> (Arc<Graph>, RrgParams, Arc<PathTable>) {
+    let params = RrgParams::new(10, 6, 4);
+    let g = test_util::graph(params, seed);
+    let table = test_util::all_pairs_table(params, seed, PathSelection::REdKsp(4), seed);
+    (g, params, table)
+}
+
+fn run_once(seed: u64) -> jellyfish_flitsim::RunResult {
+    let (g, p, t) = setup(seed);
+    let mut cfg = SimConfig::paper();
+    cfg.seed = seed;
+    cfg.num_samples = 3;
+    let pattern = PacketDestinations::Uniform { num_hosts: p.num_hosts() };
+    Simulator::new(&g, p, &t, None, Mechanism::KspAdaptive, pattern, 0.2, cfg).run()
+}
+
+/// Tracing on vs off: identical `RunResult`, byte-identical serialized
+/// form. With the `obs` feature off the cycle spans compile away
+/// entirely and this degenerates to a determinism check — it must hold
+/// either way.
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    let baseline = run_once(5);
+
+    jellyfish_obs::trace::enable(jellyfish_obs::trace::TraceConfig {
+        cycle_stride: 1,
+        detail_stride: 1, // densest instrumentation = worst case
+        ..Default::default()
+    });
+    let traced = run_once(5);
+    jellyfish_obs::trace::disable();
+    let trace = jellyfish_obs::trace::take();
+
+    assert_eq!(traced, baseline, "tracing changed the simulation outcome");
+
+    let mut plain_bytes = Vec::new();
+    write_result(&baseline, &mut plain_bytes).unwrap();
+    let mut traced_bytes = Vec::new();
+    write_result(&traced, &mut traced_bytes).unwrap();
+    assert_eq!(traced_bytes, plain_bytes, "serialized results must be byte-identical");
+
+    // And the traced run actually recorded the per-cycle stages when
+    // the feature is on.
+    #[cfg(feature = "obs")]
+    {
+        let names: std::collections::BTreeSet<&str> =
+            trace.threads.iter().flat_map(|t| t.records.iter().map(|r| r.name)).collect();
+        for want in ["flitsim.cycle.inject", "flitsim.cycle.allocate", "flitsim.cycle.traverse"] {
+            assert!(names.contains(want), "missing {want} in {names:?}");
+        }
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = trace;
+}

@@ -1,0 +1,377 @@
+//! A minimal JSON reader.
+//!
+//! The workspace emits several JSON artifacts (`jellytool stats`
+//! reports, Chrome trace files, `jellyfish-bench v1` results) and —
+//! with no registry access for `serde_json` — needs to read two of
+//! them back: bench baselines for the regression gate and trace files
+//! in tests. This is a strict recursive-descent parser for exactly the
+//! JSON grammar (RFC 8259): no comments, no trailing commas, no NaN.
+//! Numbers are parsed as `f64`, which is exact for every integer the
+//! workspace writes (they stay below 2^53).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (see module docs on precision).
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object. Keys are sorted (BTreeMap); duplicate keys keep the
+    /// last value, as in every mainstream parser.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).
+pub fn parse_json(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        // Accumulate raw bytes: the input is a &str, so any non-escape
+        // bytes are already valid UTF-8, and escapes append encoded
+        // chars.
+        let mut out = Vec::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => {
+                    return String::from_utf8(out).map_err(|_| self.err("invalid UTF-8"));
+                }
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'b' => out.push(8),
+                        b'f' => out.push(12),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => {
+                                    let mut buf = [0u8; 4];
+                                    out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                                }
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                0x00..=0x1F => return Err(self.err("raw control character in string")),
+                _ => out.push(b),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("non-ASCII in \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad hex in \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("malformed number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        text.parse::<f64>().map(JsonValue::Number).map_err(|_| self.err("number out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_json("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse_json(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse_json("-12.5e2").unwrap(), JsonValue::Number(-1250.0));
+        assert_eq!(parse_json("\"a\\nb\"").unwrap(), JsonValue::String("a\nb".into()));
+        assert_eq!(
+            parse_json("\"\\u00e9\\ud83d\\ude00\"").unwrap(),
+            JsonValue::String("é😀".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse_json("{\"a\": [1, {\"b\": null}, \"x\"], \"c\": false}").unwrap();
+        assert_eq!(v.get("c"), Some(&JsonValue::Bool(false)));
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].get("b"), Some(&JsonValue::Null));
+        assert_eq!(arr[2].as_str(), Some("x"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"\\x\"",
+            "\"unterminated",
+            "[1] trailing",
+            "{\"a\":1,}",
+            "nan",
+        ] {
+            assert!(parse_json(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn reads_workspace_style_reports() {
+        let doc = "{\n  \"schema\": \"jellyfish-bench v1\",\n  \"samples_ns\": [10, 20, 30]\n}\n";
+        let v = parse_json(doc).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("jellyfish-bench v1"));
+        let s: Vec<f64> = v
+            .get("samples_ns")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(JsonValue::as_f64)
+            .collect();
+        assert_eq!(s, [10.0, 20.0, 30.0]);
+    }
+}

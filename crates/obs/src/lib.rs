@@ -11,10 +11,15 @@
 //! * [`Registry`] — named counters / gauges / histograms / series with
 //!   deterministic (sorted) iteration, plus a process-wide instance
 //!   ([`global`]) that library instrumentation reports into;
-//! * [`span`] — RAII wall-clock timing spans (a `<name>.micros`
-//!   histogram and a `<name>.calls` counter in the global registry),
-//!   used around path table construction/repair and the simulator
-//!   sweep stages;
+//! * [`span`] — RAII wall-clock timing spans (`<name>.micros` total and
+//!   `<name>.self_micros` exclusive histograms plus a `<name>.calls`
+//!   counter in the global registry), used around path table
+//!   construction/repair and the simulator sweep stages;
+//! * [`trace`] — hierarchical tracing: thread-local span stacks feeding
+//!   bounded per-thread rings, exported as Chrome Trace Event Format
+//!   JSON or a text flame summary with self-time attribution;
+//! * [`json`] — a strict, minimal JSON reader (bench baselines for the
+//!   regression gate, trace files in tests);
 //! * `jellyfish-metrics v1` — a line-oriented text format
 //!   ([`write_metrics`] / [`read_metrics`], lossless round-trip) and a
 //!   JSON rendering ([`metrics_to_json`]) in the same idiom as the
@@ -27,8 +32,10 @@
 //! even a strided sweep over every link is measurable work.
 
 mod hist;
+pub mod json;
 mod registry;
 mod serialize;
+pub mod trace;
 
 pub use hist::LogHistogram;
 pub use registry::{global, span, take_global, Registry, Span};

@@ -9,7 +9,6 @@
 use crate::hist::LogHistogram;
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, OnceLock};
-use std::time::Instant;
 
 /// A set of named metrics.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -155,17 +154,30 @@ pub fn take_global() -> Registry {
 
 /// A timing span: measures wall-clock time from construction to drop
 /// (or [`Span::finish`]) and records it into the global registry as
-/// `<name>.micros` (histogram) plus `<name>.calls` (counter).
+/// `<name>.micros` and `<name>.self_micros` (histograms) plus
+/// `<name>.calls` (counter).
+///
+/// `<name>.micros` is **total (inclusive) wall time**: when spans nest,
+/// a parent's histogram includes every cycle its children spent, so
+/// summing `.micros` across names double-counts nested work.
+/// `<name>.self_micros` subtracts the time spent inside child spans on
+/// the same thread (maintained by the [`crate::trace`] span stack), so
+/// self times are disjoint and sum to 100% of the traced wall clock.
+///
+/// Registry spans also deposit an event into the thread's trace ring
+/// whenever hierarchical tracing ([`crate::trace::enable`]) is on, so
+/// every instrumented call site appears on the exported timeline.
 #[must_use = "a span measures until it is dropped"]
 pub struct Span {
     name: &'static str,
-    start: Instant,
     done: bool,
 }
 
-/// Starts a timing span reporting into the global registry.
+/// Starts a timing span reporting into the global registry (and onto
+/// the trace timeline when tracing is enabled).
 pub fn span(name: &'static str) -> Span {
-    Span { name, start: Instant::now(), done: false }
+    crate::trace::begin_frame(name);
+    Span { name, done: false }
 }
 
 impl Span {
@@ -179,9 +191,10 @@ impl Span {
             return;
         }
         self.done = true;
-        let micros = self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let (total_ns, self_ns) = crate::trace::end_frame(self.name);
         let mut g = global();
-        g.hist_record(&format!("{}.micros", self.name), micros);
+        g.hist_record(&format!("{}.micros", self.name), total_ns / 1000);
+        g.hist_record(&format!("{}.self_micros", self.name), self_ns / 1000);
         g.counter_add(&format!("{}.calls", self.name), 1);
     }
 }
@@ -263,5 +276,30 @@ mod tests {
         let g = global();
         assert_eq!(g.counter("obs.test.span_smoke.calls"), Some(2));
         assert_eq!(g.hist("obs.test.span_smoke.micros").unwrap().count(), 2);
+        assert_eq!(g.hist("obs.test.span_smoke.self_micros").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn nested_spans_attribute_self_time() {
+        // `<name>.micros` stays *total* (parent includes child), while
+        // `<name>.self_micros` excludes child time — the parent's self
+        // histogram must not contain the child's 5 ms.
+        {
+            let _outer = span("obs.test.nested_outer");
+            let inner = span("obs.test.nested_inner");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            inner.finish();
+        }
+        let g = global();
+        let outer_total = g.hist("obs.test.nested_outer.micros").unwrap().max();
+        let outer_self = g.hist("obs.test.nested_outer.self_micros").unwrap().max();
+        let inner_total = g.hist("obs.test.nested_inner.micros").unwrap().max();
+        assert!(outer_total >= inner_total, "total time includes the child");
+        // Log-bucketed histograms have ~1.6% relative error; stay clear.
+        assert!(inner_total >= 4_500, "child slept 5 ms, saw {inner_total} us");
+        assert!(
+            outer_self < inner_total,
+            "self time excludes the child ({outer_self} vs {inner_total})"
+        );
     }
 }

@@ -1,0 +1,192 @@
+//! Trace export round-trip: a run with known span structure must export
+//! Chrome Trace Event Format JSON that parses, balances its B/E events
+//! per thread, keeps timestamps monotone, and nests children inside
+//! their parents — plus the ring-overflow drop-oldest contract.
+
+use jellyfish_obs::json::{parse_json, JsonValue};
+use jellyfish_obs::trace;
+use std::sync::{Mutex, MutexGuard};
+
+/// The trace collector is process-global; run these tests one at a
+/// time.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// One parsed Chrome event, as far as these assertions care.
+struct Event {
+    ph: String,
+    tid: u64,
+    ts: f64,
+    name: String,
+}
+
+fn parse_events(json: &str) -> Vec<Event> {
+    let doc = parse_json(json).expect("trace JSON must parse");
+    doc.get("traceEvents")
+        .expect("traceEvents array")
+        .as_array()
+        .expect("traceEvents is an array")
+        .iter()
+        .map(|e| Event {
+            ph: e.get("ph").and_then(JsonValue::as_str).expect("ph").to_string(),
+            tid: e.get("tid").and_then(JsonValue::as_f64).expect("tid") as u64,
+            ts: e.get("ts").and_then(JsonValue::as_f64).unwrap_or(0.0),
+            name: e.get("name").and_then(JsonValue::as_str).expect("name").to_string(),
+        })
+        .collect()
+}
+
+#[test]
+fn export_round_trips_with_balanced_nested_events() {
+    let _guard = serial();
+    trace::enable(trace::TraceConfig::default());
+    let _ = trace::take(); // drop anything left by other tests
+
+    // Known structure on two threads:
+    //   main:   outer( inner_a, inner_a, instant, inner_b )
+    //   worker: w_outer( w_inner )
+    {
+        let _outer = trace::span("rt.outer");
+        for _ in 0..2 {
+            let _inner = trace::span("rt.inner_a");
+        }
+        trace::instant("rt.mark");
+        let _inner = trace::span("rt.inner_b");
+    }
+    std::thread::spawn(|| {
+        let _outer = trace::span("rt.w_outer");
+        let _inner = trace::span("rt.w_inner");
+    })
+    .join()
+    .unwrap();
+
+    let t = trace::take();
+    trace::disable();
+    assert_eq!(t.len(), 7, "4 main spans + 1 instant + 2 worker spans: {t:?}");
+    let json = t.to_chrome_json();
+    let events = parse_events(&json);
+
+    // The document itself round-trips through the strict parser and
+    // keeps the format tag.
+    let doc = parse_json(&json).unwrap();
+    assert_eq!(
+        doc.get("otherData").unwrap().get("format").unwrap().as_str(),
+        Some("jellyfish-trace v1")
+    );
+
+    // Balanced B/E per thread, monotone timestamps per thread, and
+    // every E matches the most recent open B (proper nesting).
+    let tids: Vec<u64> = {
+        let mut v: Vec<u64> = events.iter().map(|e| e.tid).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    assert_eq!(tids.len(), 2, "two threads traced");
+    for tid in tids {
+        let mut last_ts = 0.0f64;
+        let mut stack: Vec<&str> = Vec::new();
+        for e in events.iter().filter(|e| e.tid == tid && e.ph != "M") {
+            assert!(e.ts >= last_ts, "timestamps regress: {} after {last_ts}", e.ts);
+            last_ts = e.ts;
+            match e.ph.as_str() {
+                "B" => stack.push(&e.name),
+                "E" => {
+                    let open = stack.pop().expect("E without open B");
+                    assert_eq!(open, e.name, "E closes the innermost open span");
+                }
+                "i" => assert_eq!(e.name, "rt.mark"),
+                other => panic!("unexpected phase {other:?}"),
+            }
+        }
+        assert!(stack.is_empty(), "unbalanced spans left open: {stack:?}");
+    }
+
+    // Nesting matches the call sites: inner_a opens (twice) strictly
+    // inside outer, on the main thread.
+    let main_tid = events.iter().find(|e| e.name == "rt.outer").expect("outer present").tid;
+    let seq: Vec<(&str, &str)> = events
+        .iter()
+        .filter(|e| e.tid == main_tid && e.ph != "M")
+        .map(|e| (e.ph.as_str(), e.name.as_str()))
+        .collect();
+    assert_eq!(
+        seq,
+        vec![
+            ("B", "rt.outer"),
+            ("B", "rt.inner_a"),
+            ("E", "rt.inner_a"),
+            ("B", "rt.inner_a"),
+            ("E", "rt.inner_a"),
+            ("i", "rt.mark"),
+            ("B", "rt.inner_b"),
+            ("E", "rt.inner_b"),
+            ("E", "rt.outer"),
+        ]
+    );
+
+    // Self-time attribution: the flame's self times sum to the traced
+    // total (the acceptance bound is 1%; with no drops it is exact).
+    let self_sum: u64 = t.flame().iter().map(|r| r.self_ns).sum();
+    let total = t.total_traced_ns();
+    assert!(total > 0);
+    assert_eq!(self_sum, total, "self times partition the traced wall clock");
+}
+
+#[test]
+fn ring_overflow_drops_oldest_and_counts() {
+    let _guard = serial();
+    trace::enable(trace::TraceConfig { capacity: 4, ..Default::default() });
+    let _ = trace::take();
+    let before = jellyfish_obs::global().counter("obs.trace.dropped").unwrap_or(0);
+
+    // Rings keep the capacity they were created with, so overflow on a
+    // fresh thread whose ring is born with capacity 4. Ten sequential
+    // spans complete; the ring keeps the newest four.
+    std::thread::spawn(|| {
+        for i in 0..10 {
+            let name: &'static str = [
+                "ov.s0", "ov.s1", "ov.s2", "ov.s3", "ov.s4", "ov.s5", "ov.s6", "ov.s7", "ov.s8",
+                "ov.s9",
+            ][i];
+            let _s = trace::span(name);
+        }
+    })
+    .join()
+    .unwrap();
+
+    let t = trace::take();
+    trace::disable();
+    let thread = t
+        .threads
+        .iter()
+        .find(|th| th.records.iter().any(|r| r.name.starts_with("ov.")))
+        .expect("overflow thread traced");
+    assert_eq!(thread.records.len(), 4, "capacity bounds the ring");
+    let names: Vec<&str> = thread.records.iter().map(|r| r.name).collect();
+    assert_eq!(names, ["ov.s6", "ov.s7", "ov.s8", "ov.s9"], "drop-oldest keeps the newest");
+    assert_eq!(t.dropped, 6, "every displaced record is counted");
+    let after = jellyfish_obs::global().counter("obs.trace.dropped").unwrap_or(0);
+    assert_eq!(after - before, 6, "take() folds drops into the registry counter");
+
+    // The truncated trace still exports parseable, balanced JSON.
+    let events = parse_events(&t.to_chrome_json());
+    let begins = events.iter().filter(|e| e.ph == "B").count();
+    let ends = events.iter().filter(|e| e.ph == "E").count();
+    assert_eq!(begins, 4);
+    assert_eq!(begins, ends);
+}
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    let _guard = serial();
+    trace::disable();
+    let _ = trace::take();
+    {
+        let _s = trace::span("off.span");
+        trace::instant("off.instant");
+    }
+    assert!(trace::take().is_empty(), "disabled tracing must be inert");
+}

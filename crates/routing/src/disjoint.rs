@@ -45,6 +45,7 @@ pub fn edge_disjoint_paths_with(
     if k == 0 || src == dst {
         return Vec::new();
     }
+    let _t = jellyfish_obs::trace::span("routing.remove_find");
     ws.ensure(graph);
     let DijkstraWorkspace { mask, scratch, .. } = ws;
     let mut paths = Vec::with_capacity(k);

@@ -271,6 +271,7 @@ impl PathTable {
                         if s == d {
                             PathSet::default()
                         } else {
+                            let _t = jellyfish_obs::trace::span("routing.pair.compute");
                             with_thread_workspace(graph, |ws| {
                                 PathSet::from_paths(
                                     &selection.paths_for_pair_with(graph, s, d, seed, ws),
@@ -286,6 +287,7 @@ impl PathTable {
                 let map: HashMap<u64, PathSet> = list
                     .into_par_iter()
                     .map(|(s, d)| {
+                        let _t = jellyfish_obs::trace::span("routing.pair.compute");
                         let ps = with_thread_workspace(graph, |ws| {
                             PathSet::from_paths(
                                 &selection.paths_for_pair_with(graph, s, d, seed, ws),
@@ -570,6 +572,7 @@ impl PathTable {
         let recomputed: Vec<((NodeId, NodeId), PathSet)> = pairs
             .par_iter()
             .map(|&(s, d)| {
+                let _t = jellyfish_obs::trace::span("routing.pair.repair");
                 let ps = with_thread_workspace(&degraded, |ws| {
                     let mut paths = selection.paths_for_pair_with(&degraded, s, d, seed, ws);
                     // The schemes emit length-sorted paths already, but

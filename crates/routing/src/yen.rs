@@ -45,6 +45,7 @@ pub fn k_shortest_paths_with(
     if k == 0 || src == dst {
         return Vec::new();
     }
+    let _t = jellyfish_obs::trace::span("routing.yen");
     ws.ensure(graph);
     let DijkstraWorkspace { mask, scratch, .. } = ws;
 
