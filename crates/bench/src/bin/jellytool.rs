@@ -22,11 +22,14 @@
 //! jellytool stats --switches N --ports X --net-ports Y [--seed S] [--k K]
 //!                 [--selection NAME] [--mech NAME] [--rate R]
 //!                 [--pattern perm|uniform] [--paper true] [--stride C]
-//!                 [--audit true] [--out FILE] [--metrics FILE]
+//!                 [--threads T] [--audit true] [--out FILE] [--metrics FILE]
 //!     run one simulation and emit a JSON observability report: latency
 //!     percentiles (p50/p90/p99/p999) always; the per-link utilization
 //!     heatmap and occupancy/credit-stall time series when built with
-//!     `--features obs`
+//!     `--features obs`. `--threads T` (default 1) runs the sharded
+//!     engine with T worker threads; the report is byte-identical at
+//!     any thread count. The per-cycle telemetry observer is
+//!     serial-only, so `--threads` above 1 omits the `telemetry` block
 //!
 //! jellytool cache warm  --cache-dir DIR --switches N --ports X --net-ports Y
 //!                       [--seed S] [--selection NAME|all] [--k K]
@@ -84,7 +87,7 @@ fn usage() -> ! {
          jellytool paths --switches N --ports X --net-ports Y --src A --dst B [--seed S] [--k K]\n  \
          jellytool table --switches N --ports X --net-ports Y --selection <sp|ksp|rksp|edksp|redksp> --out FILE [--seed S] [--k K]\n  \
          jellytool faults --switches N --ports X --net-ports Y [--seed S] [--fault-seed F] [--k K] [--mech <sp|random|rr|ugal|ksp-ugal|adaptive>] [--rates CSV] [--pattern perm|uniform] [--paper true] [--audit true] [--out FILE] [--metrics FILE]\n  \
-         jellytool stats --switches N --ports X --net-ports Y [--seed S] [--k K] [--selection NAME] [--mech NAME] [--rate R] [--pattern perm|uniform] [--paper true] [--stride C] [--audit true] [--out FILE] [--metrics FILE]\n  \
+         jellytool stats --switches N --ports X --net-ports Y [--seed S] [--k K] [--selection NAME] [--mech NAME] [--rate R] [--pattern perm|uniform] [--paper true] [--stride C] [--threads T] [--audit true] [--out FILE] [--metrics FILE]\n  \
          jellytool cache <warm|stats|clear> --cache-dir DIR [--switches N --ports X --net-ports Y] [--seed S] [--selection NAME|all] [--k K]\n  \
          jellytool bench [--quick|--full] [--runs N] [--filter SUBSTR] [--out-dir DIR] [--baseline FILE|DIR] [--tolerance PCT]\n\
          (table/faults/stats also accept --cache-dir DIR to reuse cached path tables;\n\
@@ -295,6 +298,7 @@ fn main() {
                 "pattern",
                 "paper",
                 "stride",
+                "threads",
                 "audit",
                 "out",
                 "metrics",
@@ -534,6 +538,13 @@ fn stats(flags: &HashMap<String, String>) {
     if flags.contains_key("stride") {
         eprintln!("note: --stride has no effect without --features obs");
     }
+    // Same contract as --stride: validate at the flag layer so a
+    // zero thread count is a usage error, not a simulator panic.
+    let threads: usize = num(flags, "threads").unwrap_or(1);
+    if threads == 0 {
+        eprintln!("error: --threads must be >= 1 (worker threads for the sharded engine)");
+        usage()
+    }
 
     // Traffic: one uniform or one seeded permutation instance; the
     // table is pair-restricted for permutations, as in the figures.
@@ -561,25 +572,56 @@ fn stats(flags: &HashMap<String, String>) {
         None
     };
 
-    #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
-    let mut sim = jellyfish_flitsim::Simulator::new(
-        net.graph(),
-        params,
-        &table,
-        sp_table.as_ref(),
-        mech,
-        pattern,
-        rate,
-        scale.sim_config(),
-    );
-    #[cfg(feature = "obs")]
-    {
-        sim = sim.with_observer(jellyfish_flitsim::ObserveConfig { stride });
-    }
+    let mut cfg = scale.sim_config();
+    cfg.threads = threads;
+    // Results are byte-identical at any thread count; only the
+    // per-cycle telemetry observer is serial-only.
+    let effective = jellyfish_flitsim::effective_threads(cfg.threads);
     #[cfg(not(feature = "obs"))]
     let _ = stride;
     let span = jellyfish_obs::span("jellytool.stats.run");
-    let result = sim.run();
+    let (result, telemetry): (jellyfish_flitsim::RunResult, Option<String>) = if effective > 1 {
+        #[cfg(feature = "obs")]
+        if flags.contains_key("stride") {
+            eprintln!(
+                "note: per-cycle telemetry is serial-only; --stride is ignored with --threads > 1"
+            );
+        }
+        let mut sim = jellyfish_flitsim::ParallelSimulator::new(
+            net.graph(),
+            params,
+            &table,
+            sp_table.as_ref(),
+            mech,
+            pattern,
+            rate,
+            cfg,
+            effective,
+        );
+        (sim.run(), None)
+    } else {
+        #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+        let mut sim = jellyfish_flitsim::Simulator::new(
+            net.graph(),
+            params,
+            &table,
+            sp_table.as_ref(),
+            mech,
+            pattern,
+            rate,
+            cfg,
+        );
+        #[cfg(feature = "obs")]
+        {
+            sim = sim.with_observer(jellyfish_flitsim::ObserveConfig { stride });
+        }
+        let result = sim.run();
+        #[cfg(feature = "obs")]
+        let telemetry = Some(sim.take_metrics().expect("observer was attached").to_json());
+        #[cfg(not(feature = "obs"))]
+        let telemetry = None;
+        (result, telemetry)
+    };
     span.finish();
 
     let mut out = String::from("{\n");
@@ -610,17 +652,19 @@ fn stats(flags: &HashMap<String, String>) {
     .unwrap();
     writeln!(out, "  \"mean_link_utilization\": {},", json_num(result.mean_link_utilization))
         .unwrap();
-    #[cfg(feature = "obs")]
-    {
-        writeln!(out, "  \"max_link_utilization\": {},", json_num(result.max_link_utilization))
-            .unwrap();
-        let telemetry = sim.take_metrics().expect("observer was attached").to_json();
-        // Indent the nested object to keep the report readable.
-        let indented = telemetry.trim_end().replace('\n', "\n  ");
-        writeln!(out, "  \"telemetry\": {indented}").unwrap();
+    match &telemetry {
+        Some(tel) => {
+            writeln!(out, "  \"max_link_utilization\": {},", json_num(result.max_link_utilization))
+                .unwrap();
+            // Indent the nested object to keep the report readable.
+            let indented = tel.trim_end().replace('\n', "\n  ");
+            writeln!(out, "  \"telemetry\": {indented}").unwrap();
+        }
+        None => {
+            writeln!(out, "  \"max_link_utilization\": {}", json_num(result.max_link_utilization))
+                .unwrap();
+        }
     }
-    #[cfg(not(feature = "obs"))]
-    writeln!(out, "  \"max_link_utilization\": {}", json_num(result.max_link_utilization)).unwrap();
     out.push_str("}\n");
 
     match flags.get("out") {

@@ -329,6 +329,102 @@ fn sim_workload(name: &'static str, scale: Scale) -> Workload {
     }
 }
 
+/// One simulator run at `threads` workers on the suite fabric,
+/// returning wall time and the result for identity checks.
+fn timed_sim_run(
+    net: &JellyfishNetwork,
+    params: RrgParams,
+    table: &PathTable,
+    mut cfg: jellyfish_flitsim::SimConfig,
+    threads: usize,
+) -> (u64, jellyfish_flitsim::RunResult) {
+    cfg.threads = threads;
+    let pattern = PacketDestinations::Uniform { num_hosts: params.num_hosts() };
+    if threads > 1 {
+        let mut sim = jellyfish_flitsim::ParallelSimulator::new(
+            net.graph(),
+            params,
+            table,
+            None,
+            Mechanism::KspAdaptive,
+            pattern,
+            0.20,
+            cfg,
+            threads,
+        );
+        time(|| sim.run())
+    } else {
+        let mut sim = jellyfish_flitsim::Simulator::new(
+            net.graph(),
+            params,
+            table,
+            None,
+            Mechanism::KspAdaptive,
+            pattern,
+            0.20,
+            cfg,
+        );
+        time(|| sim.run())
+    }
+}
+
+/// The sharded-engine workload: the `sim_cycles` instance run serially
+/// and at 2/4/8 worker threads in every repetition. The primary sample
+/// is the 8-thread wall time; the serial time and per-thread-count
+/// throughput/speedup land in `extra`. Each repetition also asserts the
+/// parallel results match the serial oracle, so the bench doubles as a
+/// coarse differential check on the suite fabric.
+fn sim_par_workload() -> Workload {
+    let (params, seed) = suite_params();
+    let mut state: Option<(JellyfishNetwork, PathTable)> = None;
+    let cfg = Scale::Quick.sim_config();
+    let total_cycles = cfg.total_cycles();
+    Workload {
+        name: "sim_cycles_par",
+        params: format!(
+            "sharded engine at 8 threads (serial + 2/4/8-thread gauges), rEDKSP(8) adaptive, \
+             uniform load 0.20, {total_cycles} cycles on RRG(64,11,8) seed {seed}"
+        ),
+        note: Some(
+            "speedup gauges compare against the serial run of the same repetition; on hosts \
+             with fewer cores than threads they measure available parallelism, not the \
+             engine's ceiling"
+                .to_string(),
+        ),
+        run: Box::new(move || {
+            let (net, table) = state.get_or_insert_with(|| {
+                let net = build_net(params, seed);
+                let table = PathTable::compute(
+                    net.graph(),
+                    PathSelection::REdKsp(8),
+                    &PairSet::AllPairs,
+                    seed,
+                );
+                (net, table)
+            });
+            let (serial_ns, oracle) = timed_sim_run(net, params, table, cfg, 1);
+            assert!(!oracle.saturated, "bench sim saturated at load 0.20");
+            let mut extra = vec![("serial_ns".to_string(), serial_ns as f64)];
+            let mut primary_ns = serial_ns;
+            for threads in [2usize, 4, 8] {
+                let (ns, result) = timed_sim_run(net, params, table, cfg, threads);
+                assert_eq!(
+                    (result.generated, result.ejected, result.measured_cycles),
+                    (oracle.generated, oracle.ejected, oracle.measured_cycles),
+                    "parallel({threads}) diverged from the serial oracle"
+                );
+                extra.push((
+                    format!("cycles_per_sec_t{threads}"),
+                    f64::from(total_cycles) / (ns as f64 / 1e9),
+                ));
+                extra.push((format!("speedup_t{threads}"), serial_ns as f64 / ns as f64));
+                primary_ns = ns;
+            }
+            RunSample { ns: primary_ns, extra }
+        }),
+    }
+}
+
 fn repair_workload() -> Workload {
     let (params, seed) = suite_params();
     let mut state: Option<(JellyfishNetwork, PathTable, FaultPlan)> = None;
@@ -365,7 +461,7 @@ fn repair_workload() -> Workload {
 /// Builds the suite for a tier. Quick covers every subsystem the
 /// ROADMAP's perf trajectory cares about: topology build, all-pairs
 /// path precomputation per scheme, the path-table cache, the cycle
-/// simulator, and fault repair.
+/// simulator (serial and sharded), and fault repair.
 pub fn workloads(tier: Tier) -> Vec<Workload> {
     let mut list = vec![
         topo_workload(),
@@ -375,6 +471,7 @@ pub fn workloads(tier: Tier) -> Vec<Workload> {
         path_workload("path_redksp", PathSelection::REdKsp(8)),
         cache_workload(),
         sim_workload("sim_cycles", Scale::Quick),
+        sim_par_workload(),
         repair_workload(),
     ];
     if tier == Tier::Full {
@@ -593,6 +690,7 @@ mod tests {
         assert!(names.contains(&"topo_build"));
         assert!(names.contains(&"path_cache"));
         assert!(names.contains(&"sim_cycles"));
+        assert!(names.contains(&"sim_cycles_par"));
         assert!(names.contains(&"fault_repair"));
         assert!(workloads(Tier::Full).len() > names.len());
     }

@@ -1,5 +1,6 @@
-//! End-to-end CLI contracts for `jellytool`: the `--stride 0` usage
-//! error (regression test for the old divide-by-zero panic) and the
+//! End-to-end CLI contracts for `jellytool`: the `--stride 0` and
+//! `--threads 0` usage errors (regression tests against panics deep in
+//! the engines), thread-count invariance of the `stats` report, and the
 //! `bench` regression gate's exit codes against doctored baselines.
 
 use std::path::PathBuf;
@@ -35,6 +36,63 @@ fn stats_stride_zero_is_a_usage_error_not_a_panic() {
     assert_eq!(out.status.code(), Some(2), "usage error exit code; stderr: {stderr}");
     assert!(stderr.contains("--stride must be >= 1"), "actionable message: {stderr}");
     assert!(!stderr.contains("panicked"), "must not panic: {stderr}");
+}
+
+/// `stats --threads 0` must be a flag-validation usage error, not the
+/// sharded engine's "thread count must be at least 1" panic.
+#[test]
+fn stats_threads_zero_is_a_usage_error_not_a_panic() {
+    let out = jellytool(&[
+        "stats",
+        "--switches",
+        "10",
+        "--ports",
+        "6",
+        "--net-ports",
+        "4",
+        "--threads",
+        "0",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "usage error exit code; stderr: {stderr}");
+    assert!(stderr.contains("--threads must be >= 1"), "actionable message: {stderr}");
+    assert!(!stderr.contains("panicked"), "must not panic: {stderr}");
+}
+
+/// The `stats` report is identical whichever engine runs it: the serial
+/// oracle (`--threads 1`) and the sharded engine (`--threads 3`, `8`)
+/// must agree on every simulation field (mirrors the path-table
+/// `RAYON_NUM_THREADS` invariance contract from the routing layer).
+/// Only the serial-only `telemetry` block (present under `--features
+/// obs`) is stripped before comparing; everything else is byte-compared.
+#[test]
+fn stats_report_is_thread_count_invariant() {
+    let run = |threads: &str| {
+        let out = jellytool(&[
+            "stats",
+            "--switches",
+            "10",
+            "--ports",
+            "6",
+            "--net-ports",
+            "4",
+            "--rate",
+            "0.1",
+            "--threads",
+            threads,
+        ]);
+        assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+        let report = String::from_utf8(out.stdout).expect("utf8 report");
+        assert!(report.contains("\"measured_cycles\""), "{report}");
+        // Drop the telemetry block and the structural trailer around it
+        // (trailing comma, closing brace) so obs and non-obs builds
+        // normalize to the same simulation-field prefix.
+        let head = report.split("  \"telemetry\"").next().unwrap();
+        head.trim_end_matches(|c: char| c == '}' || c == ',' || c.is_whitespace()).to_string()
+    };
+    let serial = run("1");
+    assert_eq!(run("3"), serial, "thread count changed the stats report");
+    assert_eq!(run("8"), serial, "thread count changed the stats report");
 }
 
 /// The bench gate end to end: reports written in the v1 schema, exit 0

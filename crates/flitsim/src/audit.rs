@@ -254,15 +254,23 @@ impl Auditor {
         self.events_recorded += 1;
     }
 
-    /// Watchdog verdict: whether `cycle` is beyond the progress budget.
-    #[inline]
-    pub(crate) fn stalled(&self, cycle: u32) -> bool {
-        cycle.saturating_sub(self.last_progress) >= self.cfg.watchdog_cycles
+    /// Last cycle with a grant, ejection, or drop (watchdog anchor).
+    /// The multi-shard audit takes the max across shard auditors before
+    /// applying the watchdog budget.
+    pub(crate) fn last_progress(&self) -> u32 {
+        self.last_progress
     }
 
-    /// Cycles since the watchdog last saw progress.
-    pub(crate) fn stall_cycles(&self, cycle: u32) -> u32 {
-        cycle.saturating_sub(self.last_progress)
+    /// The current flight-recorder dump, oldest event first — the
+    /// rendering violations embed (prefixed per shard when several
+    /// auditors contribute).
+    pub(crate) fn trace_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut trace = String::new();
+        for ev in &self.ring {
+            writeln!(trace, "  {ev}").expect("write to String");
+        }
+        trace
     }
 
     /// Resizes and zeroes the per-queue scratch tallies.
@@ -271,21 +279,6 @@ impl Auditor {
         self.chan_in_flight.resize(num_queues, 0);
         self.cred_pending.clear();
         self.cred_pending.resize(num_queues, 0);
-    }
-
-    /// Builds a [`Violation`] carrying the current flight-recorder dump.
-    pub(crate) fn violation(
-        &self,
-        invariant: &'static str,
-        cycle: u32,
-        detail: String,
-    ) -> Violation {
-        use std::fmt::Write as _;
-        let mut trace = String::new();
-        for ev in &self.ring {
-            writeln!(trace, "  {ev}").expect("write to String");
-        }
-        Violation { invariant, cycle, detail, trace }
     }
 }
 
@@ -317,20 +310,20 @@ mod tests {
             a.record(AuditEvent::Inject { cycle: c, host: 0, packet: c });
         }
         assert_eq!(a.events_recorded, 5);
-        let v = a.violation("test", 5, "detail".into());
-        assert!(!v.trace.contains("pkt 2"), "{}", v.trace);
-        assert!(v.trace.contains("pkt 3") && v.trace.contains("pkt 4"), "{}", v.trace);
+        let trace = a.trace_dump();
+        assert!(!trace.contains("pkt 2"), "{trace}");
+        assert!(trace.contains("pkt 3") && trace.contains("pkt 4"), "{trace}");
     }
 
     #[test]
     fn watchdog_anchors_on_progress_events() {
         let mut a = Auditor::new(AuditConfig { watchdog_cycles: 100, ring_capacity: 4 });
         a.record(AuditEvent::Inject { cycle: 50, host: 0, packet: 0 });
-        assert!(a.stalled(100), "injection alone is not forward progress");
+        assert_eq!(a.last_progress(), 0, "injection alone is not forward progress");
         a.record(AuditEvent::Forward { cycle: 60, router: 1, qi: 3, packet: 0 });
-        assert!(!a.stalled(100));
-        assert_eq!(a.stall_cycles(100), 40);
-        assert!(a.stalled(160));
+        assert_eq!(a.last_progress(), 60);
+        a.record(AuditEvent::Drop { cycle: 75, router: 1, qi: 3, packet: 0 });
+        assert_eq!(a.last_progress(), 75, "drops count as progress too");
     }
 
     #[test]
@@ -338,7 +331,12 @@ mod tests {
         let mut a = Auditor::new(AuditConfig::default());
         a.record(AuditEvent::Drop { cycle: 7, router: 2, qi: u32::MAX, packet: 9 });
         a.record(AuditEvent::Fault { cycle: 7, events: 3 });
-        let v = a.violation("credit-conservation", 8, "link 4 vc 1: have 31, want 32".into());
+        let v = Violation {
+            invariant: "credit-conservation",
+            cycle: 8,
+            detail: "link 4 vc 1: have 31, want 32".into(),
+            trace: a.trace_dump(),
+        };
         let s = v.to_string();
         assert!(s.contains("audit violation: credit-conservation at cycle 8"), "{s}");
         assert!(s.contains("link 4 vc 1"), "{s}");

@@ -82,6 +82,17 @@ pub struct SimConfig {
     pub fault_repair: bool,
     /// RNG seed for injection, destinations, and adaptive choices.
     pub seed: u64,
+    /// Worker threads for the sharded engine: `1` (the default) runs
+    /// the serial oracle, larger values route through
+    /// [`crate::ParallelSimulator`]; `0` is treated as `1`. Results are
+    /// byte-identical at any value (see `crate::parallel`). The
+    /// `FLITSIM_THREADS` environment variable overrides this field.
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+}
+
+fn default_threads() -> usize {
+    1
 }
 
 impl SimConfig {
@@ -103,6 +114,7 @@ impl SimConfig {
             fault_retry_budget: 8,
             fault_repair: true,
             seed: 0,
+            threads: default_threads(),
         }
     }
 

@@ -32,6 +32,8 @@ pub mod config;
 pub mod mechanism;
 #[cfg(feature = "obs")]
 pub mod observe;
+pub mod parallel;
+mod shard;
 pub mod sim;
 pub mod stats;
 pub mod sweep;
@@ -44,6 +46,7 @@ pub use config::SimConfig;
 pub use mechanism::Mechanism;
 #[cfg(feature = "obs")]
 pub use observe::{ObserveConfig, SimMetrics};
+pub use parallel::{effective_threads, ParallelSimulator};
 pub use sim::Simulator;
 pub use stats::{read_result, write_result, ResultReadError, RunResult};
 pub use sweep::{

@@ -1,0 +1,502 @@
+//! The sharded (multi-threaded) simulation driver.
+//!
+//! [`ParallelSimulator`] runs the same engine core as the serial
+//! [`crate::Simulator`] — the per-shard state and cycle phases in
+//! [`crate::shard`] — but partitions the routers across worker threads.
+//! Within a cycle every shard advances independently; cross-shard flits
+//! and credit returns go through double-buffered mailboxes that the
+//! receiving shard drains at the start of the next cycle, behind a
+//! once-per-cycle barrier. The exchange is exact, not speculative:
+//! channel latency is at least one cycle, so nothing sent during cycle
+//! `c` can be observed before cycle `c + 1`, and the handoff happens on
+//! the cycle boundary.
+//!
+//! # Determinism contract
+//!
+//! Fixed-seed runs produce a [`RunResult`] byte-identical to the serial
+//! engine's at any thread count:
+//!
+//! * all randomness comes from per-host and per-router streams, so no
+//!   draw depends on which thread (or in which order) an entity runs;
+//! * cross-shard effects land in delay lines keyed by absolute cycle,
+//!   exactly where the serial engine would have placed them;
+//! * merged statistics use exact integer sums and order-free reductions
+//!   (see [`crate::shard::assemble_result`]).
+//!
+//! The differential test layer (`tests/parallel_differential.rs` and
+//! the root `tests/parallel_engine.rs`) enforces the contract across
+//! thread counts, schemes, fault plans, and audit variants.
+//!
+//! # Synchronization shape
+//!
+//! Per cycle: every worker drains its inbound mailboxes, applies due
+//! fault drops, and runs deliver → generate → allocate on its own
+//! routers, then flushes its outboxes and waits on the barrier. Between
+//! the two barrier waits, worker 0's thread runs the coordinator:
+//! end-of-cycle audit, sample-window close, saturation/termination
+//! verdicts, and fault-plan advancement for the next cycle. Audit
+//! violations are carried out of the worker scope and raised as the
+//! same panic the serial engine produces — panicking inside the scope
+//! would strand the other workers at the barrier.
+
+#[cfg(feature = "audit")]
+use crate::audit::{AuditConfig, AuditEvent, Auditor, Violation};
+use crate::config::SimConfig;
+use crate::mechanism::Mechanism;
+use crate::shard::{
+    apply_fault_events, assemble_result, stalled_in_network, CredMsg, FaultState, FlitMsg, Shard,
+    SimCtx,
+};
+#[cfg(feature = "audit")]
+use crate::sim::audit_invariants;
+use crate::stats::RunResult;
+use crate::stats::SampleAccumulator;
+use jellyfish_routing::PathTable;
+use jellyfish_topology::{FaultPlan, Graph, RrgParams};
+use jellyfish_traffic::PacketDestinations;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
+
+/// Resolves the thread count for a run: the `FLITSIM_THREADS`
+/// environment variable (a positive integer) overrides `cfg_threads`;
+/// zero or unset/unparsable values fall back to `cfg_threads.max(1)`.
+/// This is how CI runs the whole tier-1 suite under the sharded engine
+/// without touching each call site.
+pub fn effective_threads(cfg_threads: usize) -> usize {
+    std::env::var("FLITSIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| cfg_threads.max(1))
+}
+
+/// Double-buffered cross-shard mailboxes, indexed `[receiver][sender]`.
+/// Messages sent during cycle `c` go into parity `c & 1` and are
+/// drained by the receiver at cycle `c + 1` (which reads parity
+/// `(c + 2) & 1 = c & 1`) — writers and readers of one cycle never
+/// touch the same buffer.
+struct Mailboxes {
+    flits: Vec<Vec<[Mutex<Vec<FlitMsg>>; 2]>>,
+    creds: Vec<Vec<[Mutex<Vec<CredMsg>>; 2]>>,
+}
+
+impl Mailboxes {
+    fn new(t: usize) -> Self {
+        let boxes = |_| (0..t).map(|_| [Mutex::new(Vec::new()), Mutex::new(Vec::new())]).collect();
+        let cboxes = |_| (0..t).map(|_| [Mutex::new(Vec::new()), Mutex::new(Vec::new())]).collect();
+        Self { flits: (0..t).map(boxes).collect(), creds: (0..t).map(cboxes).collect() }
+    }
+
+    /// Drains everything addressed to shard `rcv` with drain parity for
+    /// `cycle` into the shard (sender order is fixed, so the adoption
+    /// order — and with it every arena id — is deterministic).
+    fn drain_into(&self, rcv: usize, shard: &mut Shard, cycle: u32) {
+        let par = ((cycle + 1) & 1) as usize;
+        for snd in 0..self.flits[rcv].len() {
+            if snd == rcv {
+                continue;
+            }
+            let msgs =
+                std::mem::take(&mut *self.flits[rcv][snd][par].lock().expect("not poisoned"));
+            if !msgs.is_empty() {
+                shard.drain_flits(msgs);
+            }
+            let creds =
+                std::mem::take(&mut *self.creds[rcv][snd][par].lock().expect("not poisoned"));
+            if !creds.is_empty() {
+                shard.drain_creds(&creds);
+            }
+        }
+    }
+
+    /// Flushes shard `snd`'s outboxes with write parity for `cycle`.
+    fn flush_from(&self, snd: usize, shard: &mut Shard, cycle: u32) {
+        let par = (cycle & 1) as usize;
+        for rcv in 0..self.flits.len() {
+            if rcv == snd {
+                continue;
+            }
+            if !shard.out_flits[rcv].is_empty() {
+                self.flits[rcv][snd][par]
+                    .lock()
+                    .expect("not poisoned")
+                    .append(&mut shard.out_flits[rcv]);
+            }
+            if !shard.out_creds[rcv].is_empty() {
+                self.creds[rcv][snd][par]
+                    .lock()
+                    .expect("not poisoned")
+                    .append(&mut shard.out_creds[rcv]);
+            }
+        }
+    }
+
+    /// Packets parked in undrained mailboxes: in-flight flits the
+    /// shards' arenas do not count (extracted by the sender, not yet
+    /// adopted by the receiver). Counts the drain parity for `cycle`;
+    /// with `both` set, counts both buffers (end-of-run accounting).
+    fn boxed_flits(&self, cycle: u32, both: bool) -> u64 {
+        let par = ((cycle + 1) & 1) as usize;
+        let mut n = 0u64;
+        for row in &self.flits {
+            for cell in row {
+                n += cell[par].lock().expect("not poisoned").len() as u64;
+                if both {
+                    n += cell[par ^ 1].lock().expect("not poisoned").len() as u64;
+                }
+            }
+        }
+        n
+    }
+}
+
+/// One shard's cycle: drain inbound handoffs, apply due fault drops,
+/// then deliver → generate → allocate, then flush outbound handoffs.
+#[allow(clippy::too_many_arguments)]
+fn shard_cycle(
+    ctx: &SimCtx<'_>,
+    shard: &mut Shard,
+    boxes: &Mailboxes,
+    fault: &RwLock<Option<FaultState<'_>>>,
+    fired: &Mutex<Option<Range<usize>>>,
+    plan: Option<&FaultPlan>,
+    w: usize,
+    cycle: u32,
+) {
+    boxes.drain_into(w, shard, cycle);
+    let fault = fault.read().expect("not poisoned");
+    if let Some(plan) = plan {
+        let due = fired.lock().expect("not poisoned").clone();
+        if let Some(due) = due {
+            let fs = fault.as_ref().expect("fault state set with the plan");
+            shard.fault_drops(ctx, fs, plan, due, cycle);
+        }
+    }
+    let measuring = cycle >= ctx.cfg.warmup_cycles;
+    shard.deliver(ctx, cycle);
+    shard.generate(ctx, fault.as_ref(), cycle, measuring);
+    shard.allocate(ctx, fault.as_ref(), cycle, measuring);
+    drop(fault);
+    boxes.flush_from(w, shard, cycle);
+}
+
+/// One simulation run sharded across worker threads. Construction
+/// mirrors [`crate::Simulator`] plus a thread count; fixed-seed results
+/// are byte-identical to the serial engine's (see the module docs for
+/// the contract and the synchronization shape).
+pub struct ParallelSimulator<'a> {
+    ctx: SimCtx<'a>,
+    shards: Vec<Shard>,
+    fault_plan: Option<&'a FaultPlan>,
+    fault: Option<FaultState<'a>>,
+    ran: bool,
+}
+
+impl<'a> ParallelSimulator<'a> {
+    /// Creates a sharded simulator over `threads` worker threads
+    /// (clamped to the router count; `1` is legal and runs the sharded
+    /// engine without spawning).
+    ///
+    /// # Panics
+    /// Panics when `threads` is zero, and on the same inconsistent
+    /// arguments as [`crate::Simulator::new`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        graph: &'a Graph,
+        params: RrgParams,
+        table: &'a PathTable,
+        sp_table: Option<&'a PathTable>,
+        mechanism: Mechanism,
+        pattern: PacketDestinations,
+        rate: f64,
+        cfg: SimConfig,
+        threads: usize,
+    ) -> Self {
+        assert!(threads >= 1, "thread count must be at least 1");
+        let ctx =
+            SimCtx::new(graph, params, table, sp_table, mechanism, pattern, rate, cfg, threads);
+        let mut shards: Vec<Shard> = (0..ctx.part.shards()).map(|i| Shard::new(&ctx, i)).collect();
+        #[cfg(feature = "audit")]
+        if let Some(cfg) = crate::audit::global_config() {
+            for s in &mut shards {
+                s.auditor = Some(Auditor::new(cfg));
+            }
+        }
+        #[cfg(not(feature = "audit"))]
+        let _ = &mut shards;
+        Self { ctx, shards, fault_plan: None, fault: None, ran: false }
+    }
+
+    /// Number of virtual channels in use (hop-indexed).
+    pub fn num_vcs(&self) -> usize {
+        self.ctx.num_vcs
+    }
+
+    /// Number of shards (= worker threads) actually used.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Attaches a fault schedule. Must be called before [`Self::run`].
+    /// Same VC-headroom rule as [`crate::Simulator::with_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: &'a FaultPlan) -> Self {
+        assert!(!self.ran, "attach fault plans before running");
+        let vcs = (self.ctx.num_vcs + 2).min(32);
+        if vcs != self.ctx.num_vcs {
+            self.ctx.num_vcs = vcs;
+            // Queue geometry changed: rebuild the (still pristine)
+            // shards, carrying over any pre-attached auditors.
+            self.shards = (0..self.shards.len())
+                .map(|i| {
+                    #[cfg(feature = "audit")]
+                    let auditor = self.shards[i].auditor.take();
+                    #[allow(unused_mut)]
+                    let mut s = Shard::new(&self.ctx, i);
+                    #[cfg(feature = "audit")]
+                    {
+                        s.auditor = auditor;
+                    }
+                    s
+                })
+                .collect();
+        }
+        self.fault = Some(FaultState::new(self.ctx.graph));
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attaches the runtime invariant auditor to every shard. Must be
+    /// called before [`Self::run`]. As in the serial engine, auditing
+    /// never perturbs the run, and a broken invariant panics with the
+    /// structured [`Violation`] diagnostic.
+    #[cfg(feature = "audit")]
+    pub fn with_auditor(mut self, cfg: AuditConfig) -> Self {
+        assert!(!self.ran, "attach auditors before running");
+        for s in &mut self.shards {
+            s.auditor = Some(Auditor::new(cfg));
+        }
+        self
+    }
+
+    /// Runs the configured warmup + measurement schedule across the
+    /// worker threads and returns the merged result — byte-identical to
+    /// the serial engine's for the same seed and configuration.
+    pub fn run(&mut self) -> RunResult {
+        let _run_span = jellyfish_obs::span("flitsim.parallel.run");
+        assert!(!self.ran, "a simulator runs once");
+        self.ran = true;
+        let ctx = &self.ctx;
+        let t = self.shards.len();
+        let total = ctx.cfg.total_cycles();
+        let plan = self.fault_plan;
+        let audited = {
+            #[cfg(feature = "audit")]
+            {
+                self.shards.iter().all(|s| s.auditor.is_some())
+            }
+            #[cfg(not(feature = "audit"))]
+            false
+        };
+
+        let boxes = Mailboxes::new(t);
+        let barrier = Barrier::new(t);
+        let stop = AtomicBool::new(false);
+        let fired: Mutex<Option<Range<usize>>> = Mutex::new(None);
+        let fault: RwLock<Option<FaultState<'a>>> = RwLock::new(self.fault.take());
+
+        // Cycle-0 fault events apply before any worker starts.
+        if let Some(plan) = plan {
+            let mut g = fault.write().expect("not poisoned");
+            let fs = g.as_mut().expect("fault state set with the plan");
+            let due = apply_fault_events(ctx, fs, plan, 0);
+            #[cfg(feature = "audit")]
+            if let Some(due) = &due {
+                self.shards[0]
+                    .audit_record(AuditEvent::Fault { cycle: 0, events: due.len() as u32 });
+            }
+            *fired.lock().expect("not poisoned") = due;
+        }
+
+        let shards: Vec<Mutex<Shard>> =
+            std::mem::take(&mut self.shards).into_iter().map(Mutex::new).collect();
+
+        // Coordinator-owned run state; lives on this thread, carried
+        // across the scope.
+        let mut acc = SampleAccumulator::default();
+        let mut early_saturated = false;
+        let mut window_cycles = 0u32;
+        let mut done_cycles = 0u32;
+        #[cfg(feature = "audit")]
+        let mut violation: Option<Violation> = None;
+
+        std::thread::scope(|sc| {
+            for w in 1..t {
+                let (boxes, barrier, stop, fired, fault, shards) =
+                    (&boxes, &barrier, &stop, &fired, &fault, &shards);
+                sc.spawn(move || {
+                    let mut cycle = 0u32;
+                    loop {
+                        {
+                            let mut s = shards[w].lock().expect("not poisoned");
+                            shard_cycle(ctx, &mut s, boxes, fault, fired, plan, w, cycle);
+                        }
+                        barrier.wait();
+                        // (coordinator runs on worker 0's thread here)
+                        barrier.wait();
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        cycle += 1;
+                    }
+                });
+            }
+            // Worker 0 + the coordinator run on the calling thread.
+            let mut cycle = 0u32;
+            loop {
+                {
+                    let mut s = shards[0].lock().expect("not poisoned");
+                    shard_cycle(ctx, &mut s, &boxes, &fault, &fired, plan, 0, cycle);
+                }
+                barrier.wait();
+                // ---- coordinator: end of cycle `cycle` ----
+                #[cfg(feature = "obs")]
+                let _t = (jellyfish_obs::trace::enabled()
+                    && cycle.is_multiple_of(jellyfish_obs::trace::cycle_stride()))
+                .then(|| jellyfish_obs::trace::span("flitsim.cycle.exchange"));
+                let mut guards: Vec<_> =
+                    shards.iter().map(|m| m.lock().expect("not poisoned")).collect();
+                #[cfg(feature = "audit")]
+                if audited && violation.is_none() {
+                    // Make all in-flight state visible to the invariant
+                    // checks: pre-drain the next cycle's handoffs into
+                    // the receiving shards (the workers' own drains then
+                    // find empty boxes — same adoption order, so results
+                    // are unchanged).
+                    for (rcv, g) in guards.iter_mut().enumerate() {
+                        boxes.drain_into(rcv, g, cycle + 1);
+                    }
+                    let mut auds: Vec<Auditor> =
+                        guards.iter_mut().map(|g| g.auditor.take().expect("audited run")).collect();
+                    let refs: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
+                    let fg = fault.read().expect("not poisoned");
+                    let verdict = audit_invariants(
+                        ctx,
+                        &refs,
+                        fg.as_ref().map(|f| &f.view),
+                        cycle,
+                        &mut auds,
+                    );
+                    drop(fg);
+                    auds[0].bump_cycles_checked();
+                    for (g, a) in guards.iter_mut().zip(auds) {
+                        g.auditor = Some(a);
+                    }
+                    if let Err(v) = verdict {
+                        // Raising the panic here would strand the other
+                        // workers at the barrier: carry it out of the
+                        // scope instead.
+                        violation = Some(v);
+                        stop.store(true, Ordering::Release);
+                    }
+                }
+                let next = cycle + 1;
+                let stopping = stop.load(Ordering::Acquire);
+                if !stopping && guards.iter().any(|g| g.overflowed) {
+                    early_saturated = true;
+                    stop.store(true, Ordering::Release);
+                } else if !stopping {
+                    if cycle >= ctx.cfg.warmup_cycles {
+                        window_cycles += 1;
+                        if (next - ctx.cfg.warmup_cycles).is_multiple_of(ctx.cfg.sample_cycles) {
+                            let (mut sum, mut count) = (0u64, 0u64);
+                            for g in guards.iter_mut() {
+                                let (s, c) = g.take_window();
+                                sum += s;
+                                count += c;
+                            }
+                            acc.push_window(sum, count);
+                            window_cycles = 0;
+                            let worst = acc.window_means().last().copied().unwrap_or(f64::NAN);
+                            if worst > ctx.cfg.saturation_latency
+                                || (worst.is_nan() && {
+                                    let refs: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
+                                    stalled_in_network(
+                                        ctx,
+                                        &refs,
+                                        next,
+                                        boxes.boxed_flits(next, false),
+                                    )
+                                })
+                            {
+                                early_saturated = true;
+                                stop.store(true, Ordering::Release);
+                            }
+                        }
+                    }
+                    if next >= total && !stop.load(Ordering::Acquire) {
+                        stop.store(true, Ordering::Release);
+                    }
+                    // Advance the fault plan for the next cycle while the
+                    // workers are parked at the barrier.
+                    if !stop.load(Ordering::Acquire) {
+                        if let Some(plan) = plan {
+                            let mut fg = fault.write().expect("not poisoned");
+                            let fs = fg.as_mut().expect("fault state set with the plan");
+                            let due = apply_fault_events(ctx, fs, plan, next as u64);
+                            #[cfg(feature = "audit")]
+                            if let Some(due) = &due {
+                                guards[0].audit_record(AuditEvent::Fault {
+                                    cycle: next,
+                                    events: due.len() as u32,
+                                });
+                            }
+                            *fired.lock().expect("not poisoned") = due;
+                        }
+                    }
+                }
+                drop(guards);
+                done_cycles = next;
+                // ---- end coordinator ----
+                barrier.wait();
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                cycle += 1;
+            }
+        });
+
+        #[cfg(feature = "audit")]
+        if let Some(v) = violation {
+            panic!("{v}");
+        }
+        let _ = audited;
+
+        let mut shards: Vec<Shard> =
+            shards.into_iter().map(|m| m.into_inner().expect("not poisoned")).collect();
+        if window_cycles > 0 {
+            // Close the partially measured trailing window, exactly as
+            // the serial engine does on early exit.
+            let (mut sum, mut count) = (0u64, 0u64);
+            for s in shards.iter_mut() {
+                let (ws, wc) = s.take_window();
+                sum += ws;
+                count += wc;
+            }
+            acc.push_window(sum, count);
+        }
+        let refs: Vec<&Shard> = shards.iter().collect();
+        let result = assemble_result(
+            ctx,
+            &refs,
+            &acc,
+            done_cycles,
+            early_saturated,
+            boxes.boxed_flits(0, true),
+        );
+        drop(refs);
+        self.shards = shards;
+        self.fault = fault.into_inner().expect("not poisoned");
+        result
+    }
+}

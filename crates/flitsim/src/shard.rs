@@ -1,0 +1,1418 @@
+//! The sharded engine core: per-shard hot state and the cycle phases
+//! shared by the serial oracle ([`crate::Simulator`]) and the sharded
+//! driver ([`crate::ParallelSimulator`]).
+//!
+//! Routers are partitioned into contiguous ranges — deterministically,
+//! from the router count and shard count alone — and every shard owns:
+//!
+//! * the input buffers and occupancy masks of its routers' in-links,
+//! * the credit counters of its routers' out-links (the sender side of
+//!   flow control),
+//! * the source queues and injection state of its routers' hosts,
+//! * its own packet arena, channel/credit delay lines, RNG streams, and
+//!   statistics partials.
+//!
+//! Cross-shard traffic — a packet granted onto a link whose far end
+//! belongs to another shard, or a credit returning to an upstream link
+//! owned by another shard — leaves through per-peer outboxes and is
+//! drained into the receiving shard's delay lines at the start of the
+//! next cycle. The handoff is exact, not an approximation: both flit
+//! arrival (`channel_latency + packet_flits - 1 >= 1` cycles out) and
+//! credit return (`channel_latency >= 1` cycles out) are due strictly
+//! after the sending cycle, so a message handed over at the cycle
+//! boundary reaches the receiving ring before its due slot is read.
+//!
+//! # Determinism contract
+//!
+//! All randomness is drawn from per-entity streams — one per host
+//! (injection coin flips, destination sampling, path choice) and one
+//! per router (fault fates and reroute sampling) — seeded from
+//! `cfg.seed` through a splitmix64-style mixer. No stream is shared
+//! across entities, so per-cycle outcomes are independent of router
+//! visit order and of the shard count; merged statistics use exact
+//! integer sums (see [`SampleAccumulator`]) and order-free reductions.
+//! The serial and sharded drivers therefore produce byte-identical
+//! [`RunResult`]s for a fixed seed at any thread count.
+//!
+//! # State layout
+//!
+//! The packet arena is struct-of-arrays: the hot per-packet scalars
+//! (`hop`, `dst_host`, `gen_cycle`, `retries`) live in parallel flat
+//! vectors indexed by packet id, with the (cold, variable-length)
+//! route buffers in their own vector. Credit counters and VC occupancy
+//! masks stay in flat per-link-contiguous arrays, as in the serial
+//! engine. Each shard's arrays are sized for the whole fabric but only
+//! the owned index ranges are ever touched, which keeps every index
+//! global (no translation in the hot loops) at a small, bounded memory
+//! cost per shard.
+
+#[cfg(feature = "audit")]
+use crate::audit::{AuditEvent, Auditor};
+use crate::config::{EstimateForm, InjectionProcess, SimConfig};
+use crate::mechanism::Mechanism;
+use crate::stats::{RunResult, SampleAccumulator};
+use jellyfish_obs::LogHistogram;
+use jellyfish_routing::PathTable;
+use jellyfish_topology::{DegradedGraph, FaultKind, FaultPlan, Graph, LinkId, NodeId, RrgParams};
+use jellyfish_traffic::PacketDestinations;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+
+/// Index of a packet in a shard's arena.
+pub(crate) type PacketId = u32;
+
+/// Stream tag for per-host RNG streams.
+const HOST_STREAM: u64 = 0x484F_5354; // "HOST"
+/// Stream tag for per-router RNG streams.
+const ROUTER_STREAM: u64 = 0x524F_5554; // "ROUT"
+
+/// Derives the seed of one per-entity RNG stream from the run seed, a
+/// stream tag, and the entity index (splitmix64 finalizer, so nearby
+/// entities get statistically independent streams).
+fn stream_seed(seed: u64, tag: u64, idx: u64) -> u64 {
+    let mut z =
+        seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ idx.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Packet arena, struct-of-arrays with a free list; route buffers are
+/// recycled across packets.
+#[derive(Debug, Default)]
+pub(crate) struct Arena {
+    /// Switch-level route `[src_sw, ..., dst_sw]`; empty until the
+    /// packet reaches the head of its source queue (adaptive decisions
+    /// use fresh network state).
+    pub(crate) path: Vec<Vec<NodeId>>,
+    /// Network links traversed so far; also the VC of the next traversal.
+    pub(crate) hop: Vec<u16>,
+    pub(crate) dst_host: Vec<u32>,
+    pub(crate) gen_cycle: Vec<u32>,
+    /// Cycles spent stuck behind a failed link without a reroute; the
+    /// packet drops once this exceeds the configured retry budget.
+    pub(crate) retries: Vec<u32>,
+    free: Vec<PacketId>,
+}
+
+impl Arena {
+    pub(crate) fn alloc(&mut self, dst_host: u32, gen_cycle: u32) -> PacketId {
+        if let Some(id) = self.free.pop() {
+            let i = id as usize;
+            self.path[i].clear();
+            self.hop[i] = 0;
+            self.dst_host[i] = dst_host;
+            self.gen_cycle[i] = gen_cycle;
+            self.retries[i] = 0;
+            id
+        } else {
+            self.path.push(Vec::new());
+            self.hop.push(0);
+            self.dst_host.push(dst_host);
+            self.gen_cycle.push(gen_cycle);
+            self.retries.push(0);
+            (self.path.len() - 1) as PacketId
+        }
+    }
+
+    /// Allocates a packet arriving from another shard, adopting its
+    /// route buffer and in-flight state.
+    fn adopt(&mut self, m: FlitMsg) -> PacketId {
+        let id = self.alloc(m.dst_host, m.gen_cycle);
+        let i = id as usize;
+        self.path[i] = m.path;
+        self.hop[i] = m.hop;
+        self.retries[i] = m.retries;
+        id
+    }
+
+    /// Moves a packet out of the arena (for a cross-shard send),
+    /// releasing its id.
+    fn extract(&mut self, id: PacketId) -> (Vec<NodeId>, u16, u32, u32, u32) {
+        let i = id as usize;
+        let out = (
+            std::mem::take(&mut self.path[i]),
+            self.hop[i],
+            self.dst_host[i],
+            self.gen_cycle[i],
+            self.retries[i],
+        );
+        self.free.push(id);
+        out
+    }
+
+    pub(crate) fn release(&mut self, id: PacketId) {
+        self.free.push(id);
+    }
+
+    pub(crate) fn live(&self) -> usize {
+        self.path.len() - self.free.len()
+    }
+}
+
+/// A packet in flight between shards: everything the receiving shard
+/// needs to adopt it into its own arena and delay line.
+#[derive(Debug)]
+pub(crate) struct FlitMsg {
+    /// Absolute arrival cycle (tail flit lands).
+    pub(crate) arrive: u32,
+    /// Global `(link, vc)` queue index of the traversed link.
+    pub(crate) qi: u32,
+    pub(crate) hop: u16,
+    pub(crate) retries: u32,
+    pub(crate) dst_host: u32,
+    pub(crate) gen_cycle: u32,
+    pub(crate) path: Vec<NodeId>,
+}
+
+/// A credit return in flight between shards: `(due cycle, global qi)`.
+pub(crate) type CredMsg = (u32, u32);
+
+/// Where a request's packet currently queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueueRef {
+    /// Source queue of a host.
+    Source(u32),
+    /// Network input buffer `(link, vc)` flattened to `qi`.
+    Net(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    local_in: u16,
+    out_local: u16,
+    queue: QueueRef,
+    /// Credit index to consume for a network output; `u32::MAX` for
+    /// ejection.
+    qi_next: u32,
+    packet: PacketId,
+}
+
+/// The deterministic router partition: contiguous ranges, derived from
+/// the router count and shard count alone (seed- and load-independent).
+#[derive(Debug, Clone)]
+pub(crate) struct Partition {
+    /// Shard `s` owns routers `bounds[s]..bounds[s + 1]`.
+    pub(crate) bounds: Vec<u32>,
+    /// Owning shard per router.
+    pub(crate) owner: Vec<u16>,
+}
+
+impl Partition {
+    pub(crate) fn new(routers: u32, shards: usize) -> Self {
+        let t = shards.clamp(1, routers.max(1) as usize);
+        let base = routers / t as u32;
+        let rem = (routers % t as u32) as usize;
+        let mut bounds = Vec::with_capacity(t + 1);
+        bounds.push(0u32);
+        for i in 0..t {
+            bounds.push(bounds[i] + base + u32::from(i < rem));
+        }
+        let mut owner = vec![0u16; routers as usize];
+        for s in 0..t {
+            for r in bounds[s]..bounds[s + 1] {
+                owner[r as usize] = s as u16;
+            }
+        }
+        Self { bounds, owner }
+    }
+
+    /// Number of shards.
+    pub(crate) fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+}
+
+/// Immutable run context shared by every shard and both drivers.
+pub(crate) struct SimCtx<'a> {
+    pub(crate) graph: &'a Graph,
+    pub(crate) params: RrgParams,
+    pub(crate) table: &'a PathTable,
+    /// All-pairs single shortest paths; required by vanilla UGAL's
+    /// valiant legs.
+    pub(crate) sp_table: Option<&'a PathTable>,
+    pub(crate) mechanism: Mechanism,
+    pub(crate) pattern: PacketDestinations,
+    pub(crate) cfg: SimConfig,
+    pub(crate) rate: f64,
+    pub(crate) num_vcs: usize,
+    /// Largest router radix (network degree + hosts), for scratch sizing.
+    pub(crate) max_out: usize,
+    /// Source router per directed link (precomputed: `Graph::link_src`
+    /// is a binary search).
+    pub(crate) link_src: Vec<NodeId>,
+    pub(crate) part: Partition,
+}
+
+impl<'a> SimCtx<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        graph: &'a Graph,
+        params: RrgParams,
+        table: &'a PathTable,
+        sp_table: Option<&'a PathTable>,
+        mechanism: Mechanism,
+        pattern: PacketDestinations,
+        rate: f64,
+        cfg: SimConfig,
+        shards: usize,
+    ) -> Self {
+        cfg.validate().expect("invalid simulator configuration");
+        assert_eq!(graph.num_nodes(), params.switches, "graph/params mismatch");
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        if mechanism.needs_sp_table() {
+            assert!(sp_table.is_some(), "vanilla UGAL needs an all-pairs SP table");
+        }
+        let mut num_vcs = table.max_hops().max(1);
+        if let Some(sp) = sp_table {
+            if mechanism.needs_sp_table() {
+                num_vcs = num_vcs.max(2 * sp.max_hops().max(1));
+            }
+        }
+        let max_out = (0..graph.num_nodes() as NodeId).map(|u| graph.degree(u)).max().unwrap_or(0)
+            + params.hosts_per_switch();
+        assert!(max_out <= 64, "router radix {max_out} exceeds the allocator's 64-port limit");
+        assert!(num_vcs <= 32, "hop-indexed VC count {num_vcs} exceeds the 32-bit occupancy mask");
+        let link_src = (0..graph.num_links() as u32).map(|l| graph.link_src(l)).collect();
+        let part = Partition::new(graph.num_nodes() as u32, shards);
+        Self {
+            graph,
+            params,
+            table,
+            sp_table,
+            mechanism,
+            pattern,
+            cfg,
+            rate,
+            num_vcs,
+            max_out,
+            link_src,
+            part,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn qi(&self, link: LinkId, vc: u16) -> u32 {
+        link * self.num_vcs as u32 + vc as u32
+    }
+
+    /// Delay-line length: a packet's tail arrives `channel_latency +
+    /// (flits - 1)` cycles after the grant.
+    #[inline]
+    pub(crate) fn lat(&self) -> usize {
+        self.cfg.channel_latency as usize + self.cfg.packet_flits as usize - 1
+    }
+}
+
+/// Mid-run fault state: the degraded fabric view and the masked +
+/// repaired routing table, advanced by the driver as plan events fire.
+pub(crate) struct FaultState<'a> {
+    /// Live view of the fabric under the fault events applied so far.
+    pub(crate) view: DegradedGraph<'a>,
+    /// Routing table masked and repaired against `view`; `None` until
+    /// the first fault event applies (the intact table serves until
+    /// then).
+    pub(crate) table: Option<PathTable>,
+    /// Next unapplied event index in the plan.
+    pub(crate) next: usize,
+}
+
+impl<'a> FaultState<'a> {
+    pub(crate) fn new(graph: &'a Graph) -> Self {
+        Self { view: DegradedGraph::new(graph), table: None, next: 0 }
+    }
+}
+
+/// Applies every fault event due at `now` to the shared fault state:
+/// updates the degraded view and rebuilds the masked + repaired routing
+/// table. Returns the fired event range (for the shards' local drop
+/// passes), or `None` if nothing fired. Ring scans and buffer drains
+/// are per-shard state and happen in [`Shard::fault_drops`].
+pub(crate) fn apply_fault_events<'a>(
+    ctx: &SimCtx<'a>,
+    fs: &mut FaultState<'a>,
+    plan: &FaultPlan,
+    now: u64,
+) -> Option<Range<usize>> {
+    let events = plan.events();
+    if fs.next >= events.len() {
+        return None;
+    }
+    let first = fs.next;
+    while fs.next < events.len() && events[fs.next].time <= now {
+        fs.view.apply(events[fs.next].kind);
+        fs.next += 1;
+    }
+    if fs.next == first {
+        return None;
+    }
+    // Refresh the degraded routing table: mask dead paths and — when
+    // modelling a reconverging control plane — repair the affected
+    // pairs on the surviving fabric, trimming any repaired route that
+    // no longer fits the VC budget.
+    let mut table = fs.table.take().unwrap_or_else(|| ctx.table.clone());
+    let report = table.apply_faults(&fs.view);
+    if ctx.cfg.fault_repair {
+        table.repair(&fs.view, &report.affected_pairs(), ctx.cfg.seed ^ now);
+        table.retain_max_hops(ctx.num_vcs);
+    }
+    fs.table = Some(table);
+    Some(first..fs.next)
+}
+
+/// One shard: the owned slice of simulator state plus the cycle-phase
+/// methods. The serial driver runs a single shard covering the whole
+/// fabric; the parallel driver runs one per worker thread.
+pub(crate) struct Shard {
+    pub(crate) idx: usize,
+    /// Owned routers `[r_lo, r_hi)`.
+    pub(crate) r_lo: u32,
+    pub(crate) r_hi: u32,
+    /// Owned hosts `[h_lo, h_hi)` (hosts follow their switch).
+    pub(crate) h_lo: u32,
+    pub(crate) h_hi: u32,
+
+    pub(crate) arena: Arena,
+    /// Input buffer per `(link, vc)`; only owned in-links populated.
+    pub(crate) in_buf: Vec<VecDeque<PacketId>>,
+    /// Bitmask of non-empty VC queues per in-link (hot-loop skip).
+    pub(crate) vc_occ: Vec<u32>,
+    /// Free downstream slots per `(link, vc)` as seen by the sender;
+    /// only owned out-links maintained.
+    pub(crate) credits: Vec<u16>,
+    /// Per-host source queues (owned hosts only).
+    pub(crate) src_q: Vec<VecDeque<PacketId>>,
+    /// Channel delay line: packets arriving at owned routers. Slot =
+    /// arrival cycle % lat.
+    pub(crate) chan: Vec<Vec<(PacketId, u32)>>,
+    /// Credit-return delay line for owned out-links (same slotting).
+    pub(crate) cred: Vec<Vec<u32>>,
+    /// Round-robin pointers per owned output (network link or ejection
+    /// port).
+    rr: Vec<u16>,
+    /// First cycle each owned output is free again (multi-flit packets
+    /// occupy an output for `packet_flits` cycles).
+    pub(crate) out_free: Vec<u32>,
+    /// Round-robin path counters per (src_sw, dst_sw) pair; the source
+    /// switch is always owned, so pairs never straddle shards.
+    rr_pair: HashMap<u64, u32>,
+    /// Source-queue overflow observed (implies saturation).
+    pub(crate) overflowed: bool,
+    /// Fluid-injection credit per owned host (Periodic process only).
+    inj_credit: Vec<f64>,
+    /// Per-directed-link packet counts during measurement (owned links).
+    pub(crate) link_sends: Vec<u64>,
+    /// Ejected-packet counts by hop count during measurement.
+    pub(crate) hop_hist: Vec<u64>,
+    /// Log-bucketed latency histogram over measured ejections.
+    pub(crate) lat_hist: LogHistogram,
+    pub(crate) min_lat: u64,
+    pub(crate) max_lat: u64,
+
+    /// Per-host RNG streams (injection, destinations, path choice).
+    host_rng: Vec<StdRng>,
+    /// Per-router RNG streams (fault fates, reroute sampling).
+    router_rng: Vec<StdRng>,
+
+    /// Packets lost to faults (whole run).
+    pub(crate) dropped: u64,
+    /// Packets rerouted around a failed link (whole run).
+    pub(crate) rerouted: u64,
+    /// Packets injected (whole run, warmup included) — the conservation
+    /// ledger's debit side.
+    pub(crate) generated_total: u64,
+    /// Packets ejected (whole run, warmup included).
+    pub(crate) ejected_total: u64,
+    /// Cycle of the most recent local ejection (meaningful once
+    /// `ejected_total > 0`).
+    pub(crate) last_ejection: u32,
+    /// Measured-phase injection count.
+    pub(crate) gen_meas: u64,
+    /// Measured-phase ejection count.
+    pub(crate) ej_meas: u64,
+    /// Open sample window: exact latency sum and count.
+    pub(crate) win_sum: u64,
+    pub(crate) win_count: u64,
+
+    /// Cross-shard packet outbox, one per peer shard.
+    pub(crate) out_flits: Vec<Vec<FlitMsg>>,
+    /// Cross-shard credit-return outbox, one per peer shard.
+    pub(crate) out_creds: Vec<Vec<CredMsg>>,
+
+    /// Per-cycle invariant auditor (flight recorder + scratch).
+    #[cfg(feature = "audit")]
+    pub(crate) auditor: Option<Auditor>,
+
+    /// Test hook: visit owned routers in reverse during allocation
+    /// (pins the no-cross-router-ordering-dependence contract).
+    pub(crate) reverse_order: bool,
+
+    // Scratch, reused each router/cycle to keep the hot loop
+    // allocation free.
+    reqs: Vec<Request>,
+    out_heads: Vec<i32>,
+    next_req: Vec<i32>,
+    granted_req: Vec<bool>,
+    grants: Vec<usize>,
+}
+
+impl Shard {
+    pub(crate) fn new(ctx: &SimCtx<'_>, idx: usize) -> Self {
+        let links = ctx.graph.num_links();
+        let hosts = ctx.params.num_hosts();
+        let v = ctx.num_vcs;
+        let lat = ctx.lat();
+        let t = ctx.part.shards();
+        let (r_lo, r_hi) = (ctx.part.bounds[idx], ctx.part.bounds[idx + 1]);
+        let hps = ctx.params.hosts_per_switch() as u32;
+        let (h_lo, h_hi) = (r_lo * hps, r_hi * hps);
+        Self {
+            idx,
+            r_lo,
+            r_hi,
+            h_lo,
+            h_hi,
+            arena: Arena::default(),
+            in_buf: (0..links * v).map(|_| VecDeque::new()).collect(),
+            vc_occ: vec![0; links],
+            credits: vec![ctx.cfg.vc_buffer; links * v],
+            src_q: (0..hosts).map(|_| VecDeque::new()).collect(),
+            chan: (0..lat).map(|_| Vec::new()).collect(),
+            cred: (0..lat).map(|_| Vec::new()).collect(),
+            rr: vec![0; links + hosts],
+            out_free: vec![0; links + hosts],
+            rr_pair: HashMap::new(),
+            overflowed: false,
+            inj_credit: vec![0.0; hosts],
+            link_sends: vec![0; links],
+            hop_hist: vec![0; v + 1],
+            lat_hist: LogHistogram::new(),
+            min_lat: u64::MAX,
+            max_lat: 0,
+            host_rng: (h_lo..h_hi)
+                .map(|h| StdRng::seed_from_u64(stream_seed(ctx.cfg.seed, HOST_STREAM, h as u64)))
+                .collect(),
+            router_rng: (r_lo..r_hi)
+                .map(|r| StdRng::seed_from_u64(stream_seed(ctx.cfg.seed, ROUTER_STREAM, r as u64)))
+                .collect(),
+            dropped: 0,
+            rerouted: 0,
+            generated_total: 0,
+            ejected_total: 0,
+            last_ejection: 0,
+            gen_meas: 0,
+            ej_meas: 0,
+            win_sum: 0,
+            win_count: 0,
+            out_flits: (0..t).map(|_| Vec::new()).collect(),
+            out_creds: (0..t).map(|_| Vec::new()).collect(),
+            #[cfg(feature = "audit")]
+            auditor: None,
+            reverse_order: false,
+            reqs: Vec::with_capacity(256),
+            out_heads: vec![-1; ctx.max_out],
+            next_req: Vec::with_capacity(256),
+            granted_req: Vec::with_capacity(256),
+            grants: Vec::with_capacity(64),
+        }
+    }
+
+    /// Feeds one event to the flight recorder, if an auditor is attached.
+    #[cfg(feature = "audit")]
+    #[inline]
+    pub(crate) fn audit_record(&mut self, ev: AuditEvent) {
+        if let Some(a) = self.auditor.as_mut() {
+            a.record(ev);
+        }
+    }
+
+    /// Closes and returns the open sample-window partials.
+    pub(crate) fn take_window(&mut self) -> (u64, u64) {
+        let w = (self.win_sum, self.win_count);
+        self.win_sum = 0;
+        self.win_count = 0;
+        w
+    }
+
+    /// Adopts packets handed over by peer shards into the local arena
+    /// and channel delay line. Exactness: `arrive >= send cycle + 1`,
+    /// so the due slot has not been read yet (see module docs).
+    pub(crate) fn drain_flits(&mut self, msgs: Vec<FlitMsg>) {
+        for m in msgs {
+            let slot = m.arrive as usize % self.chan.len();
+            let qi = m.qi;
+            let id = self.arena.adopt(m);
+            self.chan[slot].push((id, qi));
+        }
+    }
+
+    /// Adopts credit returns handed over by peer shards into the local
+    /// credit delay line.
+    pub(crate) fn drain_creds(&mut self, msgs: &[CredMsg]) {
+        for &(due, qi) in msgs {
+            let slot = due as usize % self.cred.len();
+            self.cred[slot].push(qi);
+        }
+    }
+
+    /// Sends a granted packet onto channel `qi_next`: into the local
+    /// delay line when the far router is owned, else to the owner's
+    /// outbox.
+    #[inline]
+    fn send_flit(&mut self, ctx: &SimCtx<'_>, pkt: PacketId, qi_next: u32, cycle: u32) {
+        // Tail flit lands after serialization + wire delay.
+        let arrive = cycle + ctx.cfg.channel_latency + ctx.cfg.packet_flits as u32 - 1;
+        let link = qi_next / ctx.num_vcs as u32;
+        let owner = ctx.part.owner[ctx.graph.link_dst(link) as usize] as usize;
+        if owner == self.idx {
+            let slot = arrive as usize % self.chan.len();
+            self.chan[slot].push((pkt, qi_next));
+        } else {
+            let (path, hop, dst_host, gen_cycle, retries) = self.arena.extract(pkt);
+            self.out_flits[owner].push(FlitMsg {
+                arrive,
+                qi: qi_next,
+                hop,
+                retries,
+                dst_host,
+                gen_cycle,
+                path,
+            });
+        }
+    }
+
+    /// Returns the freed slots' credit to the upstream sender of in-link
+    /// `qi / num_vcs` after the channel latency: into the local delay
+    /// line when the sender is owned, else to the owner's outbox.
+    #[inline]
+    fn send_credit(&mut self, ctx: &SimCtx<'_>, qi: u32, cycle: u32) {
+        let due = cycle + ctx.cfg.channel_latency;
+        let link = qi / ctx.num_vcs as u32;
+        let owner = ctx.part.owner[ctx.link_src[link as usize] as usize] as usize;
+        if owner == self.idx {
+            let slot = due as usize % self.cred.len();
+            self.cred[slot].push(qi);
+        } else {
+            self.out_creds[owner].push((due, qi));
+        }
+    }
+
+    /// Delivers channel arrivals and credit returns due this cycle.
+    pub(crate) fn deliver(&mut self, ctx: &SimCtx<'_>, cycle: u32) {
+        let slot = cycle as usize % self.chan.len();
+        let arrivals = std::mem::take(&mut self.chan[slot]);
+        for (pkt, qi) in arrivals {
+            self.in_buf[qi as usize].push_back(pkt);
+            self.vc_occ[qi as usize / ctx.num_vcs] |= 1 << (qi as usize % ctx.num_vcs);
+        }
+        let returns = std::mem::take(&mut self.cred[slot]);
+        for qi in returns {
+            self.credits[qi as usize] += ctx.cfg.packet_flits;
+            debug_assert!(self.credits[qi as usize] <= ctx.cfg.vc_buffer);
+        }
+    }
+
+    /// Generates new packets for the owned hosts this cycle according to
+    /// the configured injection process.
+    pub(crate) fn generate(
+        &mut self,
+        ctx: &SimCtx<'_>,
+        fault: Option<&FaultState<'_>>,
+        cycle: u32,
+        measuring: bool,
+    ) {
+        for h in self.h_lo..self.h_hi {
+            if let Some(fs) = fault {
+                // Hosts of a failed switch are off the network.
+                if !fs.view.node_is_live(ctx.params.switch_of_host(h as usize)) {
+                    continue;
+                }
+            }
+            let lh = (h - self.h_lo) as usize;
+            let fire = match ctx.cfg.injection {
+                InjectionProcess::Bernoulli => self.host_rng[lh].random::<f64>() < ctx.rate,
+                InjectionProcess::Periodic => {
+                    self.inj_credit[h as usize] += ctx.rate;
+                    if self.inj_credit[h as usize] >= 1.0 {
+                        self.inj_credit[h as usize] -= 1.0;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if !fire {
+                continue;
+            }
+            let Some(dst) = ctx.pattern.sample(h, &mut self.host_rng[lh]) else {
+                continue;
+            };
+            if self.src_q[h as usize].len() >= ctx.cfg.source_queue_cap {
+                self.overflowed = true;
+                continue;
+            }
+            let id = self.arena.alloc(dst, cycle);
+            self.src_q[h as usize].push_back(id);
+            self.generated_total += 1;
+            #[cfg(feature = "audit")]
+            self.audit_record(AuditEvent::Inject { cycle, host: h, packet: id });
+            if measuring {
+                self.gen_meas += 1;
+            }
+        }
+    }
+
+    /// One allocation pass over the owned routers.
+    pub(crate) fn allocate(
+        &mut self,
+        ctx: &SimCtx<'_>,
+        fault: Option<&FaultState<'_>>,
+        cycle: u32,
+        measuring: bool,
+    ) {
+        if self.reverse_order {
+            for r in (self.r_lo..self.r_hi).rev() {
+                self.allocate_router(ctx, fault, r, cycle, measuring);
+            }
+        } else {
+            for r in self.r_lo..self.r_hi {
+                self.allocate_router(ctx, fault, r, cycle, measuring);
+            }
+        }
+    }
+
+    fn allocate_router(
+        &mut self,
+        ctx: &SimCtx<'_>,
+        fault: Option<&FaultState<'_>>,
+        r: NodeId,
+        cycle: u32,
+        measuring: bool,
+    ) {
+        let hps = ctx.params.hosts_per_switch();
+        // Per-router phase spans (route / arbitrate / eject) are the
+        // finest trace granularity; they run on a sparser stride than the
+        // cycle-stage spans so full sweeps stay cheap.
+        #[cfg(feature = "obs")]
+        let detail = jellyfish_obs::trace::enabled()
+            && cycle.is_multiple_of(jellyfish_obs::trace::detail_stride());
+        let deg = ctx.graph.degree(r);
+        let out_base = ctx.graph.out_links(r).start;
+        #[cfg(feature = "obs")]
+        let route_span = detail.then(|| jellyfish_obs::trace::span("flitsim.phase.route"));
+        // Gather requests.
+        self.reqs.clear();
+        // Network inputs: local in-port i is the reverse direction of
+        // local out-link i.
+        for i in 0..deg {
+            let out_link = out_base + i as u32;
+            let in_link = ctx.graph.reverse_link(out_link);
+            let mut occ = self.vc_occ[in_link as usize];
+            while occ != 0 {
+                let vc = occ.trailing_zeros() as u16;
+                occ &= occ - 1;
+                let qi = ctx.qi(in_link, vc);
+                let pkt = *self.in_buf[qi as usize].front().expect("occupancy bit set");
+                if let Some(fs) = fault {
+                    if !self.fault_fate(ctx, fs, pkt, r, cycle) {
+                        self.drop_net_head(ctx, qi, cycle);
+                        continue;
+                    }
+                }
+                if let Some(req) = self.request_for(
+                    ctx,
+                    fault,
+                    pkt,
+                    r,
+                    deg,
+                    out_base,
+                    i as u16,
+                    QueueRef::Net(qi),
+                    cycle,
+                ) {
+                    self.reqs.push(req);
+                }
+            }
+        }
+        // Injection inputs: one source queue per local host.
+        let host_range = ctx.params.hosts_of_switch(r);
+        for (slot, h) in host_range.clone().enumerate() {
+            let Some(&pkt) = self.src_q[h].front() else {
+                continue;
+            };
+            // Route on first observation at the head of the queue so
+            // adaptive mechanisms see current congestion.
+            if self.arena.path[pkt as usize].is_empty() {
+                let dst_sw = ctx.params.switch_of_host(self.arena.dst_host[pkt as usize] as usize);
+                let mut path = std::mem::take(&mut self.arena.path[pkt as usize]);
+                self.choose_path(ctx, fault, r, dst_sw, h as u32, &mut path);
+                self.arena.path[pkt as usize] = path;
+                if self.arena.path[pkt as usize].is_empty() {
+                    // No surviving route to the destination.
+                    self.src_q[h].pop_front();
+                    #[cfg(feature = "audit")]
+                    self.audit_record(AuditEvent::Drop {
+                        cycle,
+                        router: r,
+                        qi: u32::MAX,
+                        packet: pkt,
+                    });
+                    self.arena.release(pkt);
+                    self.dropped += 1;
+                    continue;
+                }
+            }
+            if let Some(fs) = fault {
+                if !self.fault_fate(ctx, fs, pkt, r, cycle) {
+                    self.src_q[h].pop_front();
+                    #[cfg(feature = "audit")]
+                    self.audit_record(AuditEvent::Drop {
+                        cycle,
+                        router: r,
+                        qi: u32::MAX,
+                        packet: pkt,
+                    });
+                    self.arena.release(pkt);
+                    self.dropped += 1;
+                    continue;
+                }
+            }
+            if let Some(req) = self.request_for(
+                ctx,
+                fault,
+                pkt,
+                r,
+                deg,
+                out_base,
+                (deg + slot) as u16,
+                QueueRef::Source(h as u32),
+                cycle,
+            ) {
+                self.reqs.push(req);
+            }
+        }
+        #[cfg(feature = "obs")]
+        drop(route_span);
+        if self.reqs.is_empty() {
+            return;
+        }
+        #[cfg(feature = "obs")]
+        let arb_span = detail.then(|| jellyfish_obs::trace::span("flitsim.phase.arbitrate"));
+
+        // Separable allocation with `alloc_iters` iterations: each
+        // output grants at most one request per cycle (channel bound);
+        // each input port wins at most `alloc_iters` times (router
+        // speedup).
+        let num_out = deg + hps;
+        // Chain requests per output: out_heads[o] -> first req index.
+        let out_heads = &mut self.out_heads[..num_out];
+        out_heads.fill(-1);
+        self.next_req.clear();
+        self.next_req.resize(self.reqs.len(), -1);
+        for (idx, req) in self.reqs.iter().enumerate().rev() {
+            self.next_req[idx] = out_heads[req.out_local as usize];
+            out_heads[req.out_local as usize] = idx as i32;
+        }
+        let mut in_grants = [0u8; 64];
+        self.granted_req.clear();
+        self.granted_req.resize(self.reqs.len(), false);
+        self.grants.clear();
+        for _ in 0..ctx.cfg.alloc_iters {
+            #[allow(clippy::needless_range_loop)] // o indexes three arrays
+            for o in 0..num_out {
+                if out_heads[o] == i32::MIN || out_heads[o] == -1 {
+                    continue; // no requests / already granted this cycle
+                }
+                // Round-robin pointer over local input indices.
+                let rr_key = if o < deg {
+                    (out_base + o as u32) as usize
+                } else {
+                    ctx.graph.num_links() + host_range.start + (o - deg)
+                };
+                let ptr = self.rr[rr_key];
+                let mut best: Option<(u16, usize)> = None; // (rotated idx, req)
+                let total_in = (deg + hps) as u16;
+                let mut cur = out_heads[o];
+                while cur >= 0 {
+                    let req = &self.reqs[cur as usize];
+                    if !self.granted_req[cur as usize]
+                        && in_grants[req.local_in as usize] < ctx.cfg.alloc_iters
+                    {
+                        let rot = (req.local_in + total_in - ptr) % total_in;
+                        if best.is_none_or(|(b, _)| rot < b) {
+                            best = Some((rot, cur as usize));
+                        }
+                    }
+                    cur = self.next_req[cur as usize];
+                }
+                if let Some((_, ridx)) = best {
+                    self.granted_req[ridx] = true;
+                    let li = self.reqs[ridx].local_in;
+                    in_grants[li as usize] += 1;
+                    self.rr[rr_key] = (li + 1) % total_in;
+                    self.grants.push(ridx);
+                    out_heads[o] = i32::MIN;
+                }
+            }
+        }
+
+        #[cfg(feature = "obs")]
+        drop(arb_span);
+        #[cfg(feature = "obs")]
+        let _eject_span = detail.then(|| jellyfish_obs::trace::span("flitsim.phase.eject"));
+        // Apply grants.
+        let grants = std::mem::take(&mut self.grants);
+        for &ridx in &grants {
+            let req = self.reqs[ridx];
+            // Pop from the source queue / input buffer.
+            let popped = match req.queue {
+                QueueRef::Source(h) => self.src_q[h as usize].pop_front(),
+                QueueRef::Net(qi) => {
+                    // Return the freed slots' credit upstream after the
+                    // channel latency.
+                    self.send_credit(ctx, qi, cycle);
+                    let popped = self.in_buf[qi as usize].pop_front();
+                    if self.in_buf[qi as usize].is_empty() {
+                        self.vc_occ[qi as usize / ctx.num_vcs] &=
+                            !(1 << (qi as usize % ctx.num_vcs));
+                    }
+                    popped
+                }
+            };
+            debug_assert_eq!(popped, Some(req.packet));
+            let flits = ctx.cfg.packet_flits as u32;
+            if flits > 1 {
+                let key = if req.qi_next == u32::MAX {
+                    ctx.graph.num_links() + self.arena.dst_host[req.packet as usize] as usize
+                } else {
+                    req.qi_next as usize / ctx.num_vcs
+                };
+                self.out_free[key] = cycle + flits;
+            }
+            if req.qi_next == u32::MAX {
+                // Ejection: packet leaves the network.
+                let pid = req.packet as usize;
+                let latency = (cycle - self.arena.gen_cycle[pid]) as u64;
+                let hops = (self.arena.hop[pid] as usize).min(self.hop_hist.len() - 1);
+                #[cfg(feature = "audit")]
+                let host = self.arena.dst_host[pid];
+                if measuring {
+                    self.win_sum += latency;
+                    self.win_count += 1;
+                    self.lat_hist.record(latency);
+                    self.ej_meas += 1;
+                    self.min_lat = self.min_lat.min(latency);
+                    self.max_lat = self.max_lat.max(latency);
+                    self.hop_hist[hops] += 1;
+                }
+                self.ejected_total += 1;
+                self.last_ejection = cycle;
+                #[cfg(feature = "audit")]
+                self.audit_record(AuditEvent::Eject { cycle, router: r, host, packet: req.packet });
+                self.arena.release(req.packet);
+            } else {
+                // Onto the channel; consume the downstream credits.
+                debug_assert!(self.credits[req.qi_next as usize] >= ctx.cfg.packet_flits);
+                self.credits[req.qi_next as usize] -= ctx.cfg.packet_flits;
+                self.arena.hop[req.packet as usize] += 1;
+                if measuring {
+                    self.link_sends[req.qi_next as usize / ctx.num_vcs] += 1;
+                }
+                #[cfg(feature = "audit")]
+                self.audit_record(AuditEvent::Forward {
+                    cycle,
+                    router: r,
+                    qi: req.qi_next,
+                    packet: req.packet,
+                });
+                self.send_flit(ctx, req.packet, req.qi_next, cycle);
+            }
+        }
+        self.grants = grants;
+    }
+
+    /// Total downstream occupancy of the channel `u -> v` over all VCs —
+    /// the "queue length" of the adaptive latency estimates. `u` is
+    /// always an owned router, so the credit counters are local.
+    fn congestion(&self, ctx: &SimCtx<'_>, u: NodeId, v: NodeId) -> u32 {
+        let link = ctx.graph.link_id(u, v).expect("candidate first hop must exist");
+        let base = (link as usize) * ctx.num_vcs;
+        let full = ctx.cfg.vc_buffer as u32 * ctx.num_vcs as u32;
+        let free: u32 = self.credits[base..base + ctx.num_vcs].iter().map(|&c| c as u32).sum();
+        full - free
+    }
+
+    /// Latency estimate for a candidate path (see [`EstimateForm`]).
+    fn estimate(&self, ctx: &SimCtx<'_>, path: &[NodeId]) -> u64 {
+        if path.len() < 2 {
+            return 0;
+        }
+        let hops = (path.len() - 1) as u64;
+        let q = self.congestion(ctx, path[0], path[1]) as u64;
+        match ctx.cfg.estimate {
+            EstimateForm::QueuePlusHopLatency => q + (ctx.cfg.channel_latency as u64 + 1) * hops,
+            EstimateForm::QueueTimesHops => q * hops,
+        }
+    }
+
+    /// Chooses the route for a packet injected by `host` from `src_sw`
+    /// to `dst_sw` and writes it into `out`. All randomness comes from
+    /// the host's own stream, so the choice is independent of router
+    /// visit order.
+    #[allow(clippy::too_many_arguments)]
+    fn choose_path(
+        &mut self,
+        ctx: &SimCtx<'_>,
+        fault: Option<&FaultState<'_>>,
+        src_sw: NodeId,
+        dst_sw: NodeId,
+        host: u32,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        if src_sw == dst_sw {
+            out.push(src_sw);
+            return;
+        }
+        let table = fault.and_then(|f| f.table.as_ref()).unwrap_or(ctx.table);
+        let Some(ps) = table.get(src_sw, dst_sw) else {
+            assert!(fault.is_some(), "path table missing pair {src_sw}->{dst_sw}");
+            return; // disconnected under faults: the caller drops the packet
+        };
+        if ps.is_empty() {
+            assert!(fault.is_some(), "no paths for pair {src_sw}->{dst_sw}");
+            return; // disconnected under faults: the caller drops the packet
+        }
+        let k = ps.len();
+        let lh = (host - self.h_lo) as usize;
+        match ctx.mechanism {
+            Mechanism::SinglePath => out.extend_from_slice(ps.path(0)),
+            Mechanism::Random => {
+                let i = self.host_rng[lh].random_range(0..k);
+                out.extend_from_slice(ps.path(i));
+            }
+            Mechanism::RoundRobin => {
+                let key = ((src_sw as u64) << 32) | dst_sw as u64;
+                let ctr = self.rr_pair.entry(key).or_insert(0);
+                let i = (*ctr as usize) % k;
+                *ctr = ctr.wrapping_add(1);
+                out.extend_from_slice(ps.path(i));
+            }
+            Mechanism::KspAdaptive => {
+                // Two random candidates among the k paths; smaller
+                // estimated latency wins.
+                let i = self.host_rng[lh].random_range(0..k);
+                let j = if k > 1 {
+                    let mut j = self.host_rng[lh].random_range(0..k - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    j
+                } else {
+                    i
+                };
+                let (a, b) = (ps.path(i), ps.path(j));
+                let pick = if self.estimate(ctx, a) <= self.estimate(ctx, b) { a } else { b };
+                out.extend_from_slice(pick);
+            }
+            Mechanism::KspUgal => {
+                // Minimal = shortest table path; non-minimal = random
+                // other. The selection schemes all emit length-sorted
+                // paths, but repaired or externally loaded tables make
+                // no ordering promise, so the minimal path is selected
+                // by length rather than assumed to sit at index 0.
+                let mi = ps.shortest_index();
+                let min = ps.path(mi);
+                if k == 1 {
+                    out.extend_from_slice(min);
+                    return;
+                }
+                // One draw over the k-1 non-minimal indices; for sorted
+                // tables (mi == 0) this consumes the RNG identically to
+                // a draw over 1..k.
+                let mut j = self.host_rng[lh].random_range(0..k - 1);
+                if j >= mi {
+                    j += 1;
+                }
+                let non = ps.path(j);
+                let take_min = self.estimate(ctx, min) as i64
+                    <= self.estimate(ctx, non) as i64 + ctx.cfg.ugal_bias;
+                out.extend_from_slice(if take_min { min } else { non });
+            }
+            Mechanism::VanillaUgal => {
+                let sp = ctx.sp_table.expect("checked in new()");
+                let min = ps.path(ps.shortest_index());
+                let n = ctx.graph.num_nodes() as u32;
+                // Random intermediate distinct from both endpoints.
+                let mut inter = self.host_rng[lh].random_range(0..n);
+                while inter == src_sw || inter == dst_sw {
+                    inter = self.host_rng[lh].random_range(0..n);
+                }
+                let leg1 = sp.get(src_sw, inter).expect("sp table is all-pairs").path(0);
+                let leg2 = sp.get(inter, dst_sw).expect("sp table is all-pairs").path(0);
+                let non_hops = (leg1.len() - 1 + leg2.len() - 1) as u64;
+                let est_min = self.estimate(ctx, min);
+                let q_non = self.congestion(ctx, leg1[0], leg1[1]) as u64;
+                let est_non = match ctx.cfg.estimate {
+                    EstimateForm::QueuePlusHopLatency => {
+                        q_non + (ctx.cfg.channel_latency as u64 + 1) * non_hops
+                    }
+                    EstimateForm::QueueTimesHops => q_non * non_hops,
+                };
+                if est_min as i64 <= est_non as i64 + ctx.cfg.ugal_bias {
+                    out.extend_from_slice(min);
+                } else {
+                    out.extend_from_slice(leg1);
+                    out.extend_from_slice(&leg2[1..]);
+                }
+            }
+        }
+    }
+
+    /// Checks a head packet's next link under the current fault view.
+    /// Returns `true` when the packet may proceed (the link is live, or a
+    /// reroute onto a surviving path succeeded) and `false` once it has
+    /// exhausted its retry budget and must be dropped by the caller.
+    /// Randomness comes from router `r`'s own stream.
+    fn fault_fate(
+        &mut self,
+        ctx: &SimCtx<'_>,
+        fs: &FaultState<'_>,
+        pkt_id: PacketId,
+        r: NodeId,
+        cycle: u32,
+    ) -> bool {
+        let pid = pkt_id as usize;
+        let (hop, path_len, dst_host) =
+            (self.arena.hop[pid] as usize, self.arena.path[pid].len(), self.arena.dst_host[pid]);
+        if hop + 1 >= path_len {
+            return true; // at the destination switch: ejection needs no link
+        }
+        let next = self.arena.path[pid][hop + 1];
+        let link = ctx.graph.link_id(r, next).expect("route follows edges");
+        if fs.view.link_is_live(link) {
+            return true;
+        }
+        // The next link is dead: splice a surviving route from here. All
+        // degraded-table paths are live and fit the VC budget after
+        // `retain_max_hops`, so a candidate only has to fit the hops this
+        // packet already consumed.
+        let dst_sw = ctx.params.switch_of_host(dst_host as usize);
+        let budget = ctx.num_vcs - hop;
+        let table = fs.table.as_ref().unwrap_or(ctx.table);
+        let lr = (r - self.r_lo) as usize;
+        let mut choice = None;
+        let mut seen = 0u32;
+        if let Some(ps) = table.get(r, dst_sw) {
+            // Uniform reservoir sample over the candidates that fit.
+            for i in 0..ps.len() {
+                if ps.path(i).len() - 1 <= budget {
+                    seen += 1;
+                    if self.router_rng[lr].random_range(0..seen) == 0 {
+                        choice = Some(i);
+                    }
+                }
+            }
+        }
+        match choice {
+            Some(i) => {
+                let tail = table.get(r, dst_sw).expect("sampled above").path(i).to_vec();
+                let path = &mut self.arena.path[pid];
+                path.truncate(hop + 1);
+                debug_assert_eq!(*path.last().expect("non-empty prefix"), r);
+                path.extend_from_slice(&tail[1..]);
+                self.arena.retries[pid] = 0;
+                self.rerouted += 1;
+                #[cfg(feature = "audit")]
+                self.audit_record(AuditEvent::Reroute { cycle, router: r, packet: pkt_id });
+                let _ = cycle; // silence unused warning without `audit`
+                true
+            }
+            None => {
+                self.arena.retries[pid] += 1;
+                self.arena.retries[pid] <= ctx.cfg.fault_retry_budget
+            }
+        }
+    }
+
+    /// Drops the head packet of network queue `qi` with the same
+    /// bookkeeping as a grant (upstream credit return, occupancy bit).
+    fn drop_net_head(&mut self, ctx: &SimCtx<'_>, qi: u32, cycle: u32) {
+        self.send_credit(ctx, qi, cycle);
+        let popped = self.in_buf[qi as usize].pop_front().expect("head exists");
+        if self.in_buf[qi as usize].is_empty() {
+            self.vc_occ[qi as usize / ctx.num_vcs] &= !(1 << (qi as usize % ctx.num_vcs));
+        }
+        #[cfg(feature = "audit")]
+        {
+            let router = ctx.graph.link_dst((qi / ctx.num_vcs as u32) as LinkId);
+            self.audit_record(AuditEvent::Drop { cycle, router, qi, packet: popped });
+        }
+        let _ = cycle;
+        self.arena.release(popped);
+        self.dropped += 1;
+    }
+
+    /// The shard-local part of a fault application: drops packets in
+    /// flight on cut wires (own delay line) and drains the input buffers
+    /// of owned failed switches. Runs after the driver advanced the
+    /// shared [`FaultState`] via [`apply_fault_events`].
+    pub(crate) fn fault_drops(
+        &mut self,
+        ctx: &SimCtx<'_>,
+        fs: &FaultState<'_>,
+        plan: &FaultPlan,
+        fired: Range<usize>,
+        cycle: u32,
+    ) {
+        // Packets whose flits are on a cut wire are lost.
+        for slot in 0..self.chan.len() {
+            let mut i = 0;
+            while i < self.chan[slot].len() {
+                let (pkt, qi) = self.chan[slot][i];
+                let link = (qi as usize / ctx.num_vcs) as LinkId;
+                if fs.view.link_is_live(link) {
+                    i += 1;
+                } else {
+                    self.chan[slot].swap_remove(i);
+                    #[cfg(feature = "audit")]
+                    self.audit_record(AuditEvent::Drop {
+                        cycle,
+                        router: ctx.graph.link_dst(link),
+                        qi,
+                        packet: pkt,
+                    });
+                    let _ = (pkt, cycle);
+                    self.arena.release(pkt);
+                    self.dropped += 1;
+                }
+            }
+        }
+        // A failed switch loses its buffered packets (and its hosts stop
+        // injecting — see `generate`). Buffers of the dead switch's
+        // in-links are owned by the dead switch's shard.
+        for e in &plan.events()[fired] {
+            let FaultKind::Switch { node } = e.kind else { continue };
+            if ctx.part.owner[node as usize] as usize != self.idx {
+                continue;
+            }
+            for l in ctx.graph.out_links(node) {
+                let in_link = ctx.graph.reverse_link(l);
+                for vc in 0..ctx.num_vcs as u16 {
+                    let qi = ctx.qi(in_link, vc) as usize;
+                    while let Some(p) = self.in_buf[qi].pop_front() {
+                        #[cfg(feature = "audit")]
+                        self.audit_record(AuditEvent::Drop {
+                            cycle,
+                            router: node,
+                            qi: qi as u32,
+                            packet: p,
+                        });
+                        let _ = p;
+                        self.arena.release(p);
+                        self.dropped += 1;
+                    }
+                }
+                self.vc_occ[in_link as usize] = 0;
+            }
+        }
+    }
+
+    /// Builds the request for a head packet at router `r`, or `None` if it
+    /// cannot move this cycle (no downstream credit).
+    #[allow(clippy::too_many_arguments)]
+    fn request_for(
+        &self,
+        ctx: &SimCtx<'_>,
+        fault: Option<&FaultState<'_>>,
+        pkt_id: PacketId,
+        r: NodeId,
+        deg: usize,
+        out_base: u32,
+        local_in: u16,
+        queue: QueueRef,
+        cycle: u32,
+    ) -> Option<Request> {
+        let pid = pkt_id as usize;
+        let hop = self.arena.hop[pid] as usize;
+        let path = &self.arena.path[pid];
+        let dst_host = self.arena.dst_host[pid];
+        let dst_sw = ctx.params.switch_of_host(dst_host as usize);
+        debug_assert_eq!(path[hop], r, "packet off its route");
+        if r == dst_sw && hop == path.len() - 1 {
+            // Eject to the local host (if its port is free).
+            if self.out_free[ctx.graph.num_links() + dst_host as usize] > cycle {
+                return None;
+            }
+            let slot = dst_host as usize - ctx.params.hosts_of_switch(r).start;
+            return Some(Request {
+                local_in,
+                out_local: (deg + slot) as u16,
+                queue,
+                qi_next: u32::MAX,
+                packet: pkt_id,
+            });
+        }
+        let next = path[hop + 1];
+        let out_link = ctx.graph.link_id(r, next).expect("route follows edges");
+        if let Some(fs) = fault {
+            if !fs.view.link_is_live(out_link) {
+                return None; // failed link: fault handling reroutes or drops
+            }
+        }
+        let vc = self.arena.hop[pid]; // hop-indexed VC
+        debug_assert!((vc as usize) < ctx.num_vcs, "path longer than VC count");
+        if self.out_free[out_link as usize] > cycle {
+            return None; // channel still serializing a previous packet
+        }
+        let qi_next = ctx.qi(out_link, vc);
+        if self.credits[qi_next as usize] < ctx.cfg.packet_flits {
+            return None;
+        }
+        Some(Request {
+            local_in,
+            out_local: (out_link - out_base) as u16,
+            queue,
+            qi_next,
+            packet: pkt_id,
+        })
+    }
+}
+
+/// True when traffic has flowed (>= 1 ejection ever), no packet has
+/// ejected for longer than the zero-load flight bound, and live packets
+/// occupy the network proper — input buffers or wires — rather than
+/// only source queues. `extra_live` counts packets parked in undrained
+/// cross-shard mailboxes (zero for the serial driver).
+pub(crate) fn stalled_in_network(
+    ctx: &SimCtx<'_>,
+    shards: &[&Shard],
+    cycle: u32,
+    extra_live: u64,
+) -> bool {
+    let ejected_total: u64 = shards.iter().map(|s| s.ejected_total).sum();
+    if ejected_total == 0 {
+        return false;
+    }
+    // Longest a packet can take across an idle network: wire plus
+    // serialization per traversal, one traversal per VC, plus one
+    // extra term of injection/ejection slack.
+    let flight =
+        (ctx.cfg.channel_latency as u64 + ctx.cfg.packet_flits as u64) * (ctx.num_vcs as u64 + 1);
+    let last_ejection = shards.iter().map(|s| s.last_ejection).max().unwrap_or(0);
+    if u64::from(cycle - last_ejection) <= flight {
+        return false;
+    }
+    let src_queued: u64 =
+        shards.iter().map(|s| s.src_q.iter().map(|q| q.len() as u64).sum::<u64>()).sum();
+    let live: u64 = shards.iter().map(|s| s.arena.live() as u64).sum::<u64>() + extra_live;
+    live > src_queued
+}
+
+/// Merges the shards' statistics partials into the final [`RunResult`].
+/// Every reduction is order-free (integer sums, element-wise histogram
+/// merges, min/max), so the result is identical for any shard count.
+pub(crate) fn assemble_result(
+    ctx: &SimCtx<'_>,
+    shards: &[&Shard],
+    acc: &SampleAccumulator,
+    cycle: u32,
+    early_saturated: bool,
+    extra_live: u64,
+) -> RunResult {
+    let ejected: u64 = shards.iter().map(|s| s.ej_meas).sum();
+    debug_assert_eq!(acc.total_ejected(), ejected);
+    let generated: u64 = shards.iter().map(|s| s.gen_meas).sum();
+    let overflowed = shards.iter().any(|s| s.overflowed);
+    let sample_latencies = acc.window_means();
+    // Same guarded empty-window verdict as the early-exit check: an
+    // all-NaN run whose packets never left the source queues (or never
+    // existed) is idle, not saturated.
+    let stalled = stalled_in_network(ctx, shards, cycle, extra_live);
+    let saturated = early_saturated
+        || overflowed
+        || sample_latencies
+            .iter()
+            .any(|m| m.is_nan() && stalled || *m > ctx.cfg.saturation_latency);
+    // Normalize rates by the cycles actually measured, not by the
+    // configured measurement length: early termination would otherwise
+    // deflate `accepted` and every link utilization.
+    let measured_cycles = u64::from(cycle.saturating_sub(ctx.cfg.warmup_cycles));
+    let meas_cycles = measured_cycles.max(1) as f64;
+    let links = ctx.graph.num_links();
+    let mut link_sends = vec![0u64; links];
+    let mut hop_hist = vec![0u64; ctx.num_vcs + 1];
+    let mut lat_hist = LogHistogram::new();
+    for s in shards {
+        for (dst, &src) in link_sends.iter_mut().zip(&s.link_sends) {
+            *dst += src;
+        }
+        for (dst, &src) in hop_hist.iter_mut().zip(&s.hop_hist) {
+            *dst += src;
+        }
+        lat_hist.merge(&s.lat_hist);
+    }
+    let utils: Vec<f64> = link_sends.iter().map(|&s| s as f64 / meas_cycles).collect();
+    let (p50, p90, p99, p999) = lat_hist.percentiles();
+    let min_lat = shards.iter().map(|s| s.min_lat).min().unwrap_or(u64::MAX);
+    let max_lat = shards.iter().map(|s| s.max_lat).max().unwrap_or(0);
+    RunResult {
+        offered: ctx.rate,
+        accepted: ejected as f64 / (ctx.params.num_hosts() as f64 * meas_cycles),
+        avg_latency: acc.overall_mean(),
+        sample_latencies,
+        saturated,
+        generated,
+        ejected,
+        measured_cycles,
+        min_latency: if min_lat == u64::MAX { 0 } else { min_lat },
+        max_latency: max_lat,
+        p50_latency: p50,
+        p90_latency: p90,
+        p99_latency: p99,
+        p999_latency: p999,
+        hop_histogram: hop_hist,
+        mean_link_utilization: utils.iter().sum::<f64>() / utils.len().max(1) as f64,
+        max_link_utilization: utils.iter().cloned().fold(0.0, f64::max),
+        dropped: shards.iter().map(|s| s.dropped).sum(),
+        rerouted: shards.iter().map(|s| s.rerouted).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        for (n, t) in [(12u32, 1usize), (12, 3), (12, 5), (12, 8), (7, 8), (1, 4), (64, 8)] {
+            let p = Partition::new(n, t);
+            let shards = p.shards();
+            assert!(shards <= t && shards <= n.max(1) as usize);
+            assert_eq!(p.bounds[0], 0);
+            assert_eq!(*p.bounds.last().unwrap(), n);
+            for s in 0..shards {
+                let size = p.bounds[s + 1] - p.bounds[s];
+                // Balanced to within one router, larger shards first.
+                assert!(size >= n / shards as u32);
+                assert!(size <= n / shards as u32 + 1);
+                for r in p.bounds[s]..p.bounds[s + 1] {
+                    assert_eq!(p.owner[r as usize] as usize, s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_across_entities_and_tags() {
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..1000u64 {
+            assert!(seen.insert(stream_seed(42, HOST_STREAM, idx)));
+            assert!(seen.insert(stream_seed(42, ROUTER_STREAM, idx)));
+        }
+        // Different run seeds give different streams for the same entity.
+        assert_ne!(stream_seed(1, HOST_STREAM, 0), stream_seed(2, HOST_STREAM, 0));
+    }
+}

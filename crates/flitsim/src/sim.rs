@@ -1,196 +1,45 @@
-//! The cycle-level simulator proper.
+//! The cycle-level simulator proper (serial driver).
 //!
 //! One [`Simulator`] instance runs one (topology, path table, mechanism,
-//! traffic, offered load) configuration. State is kept in flat arrays
-//! indexed by directed link id and VC so the per-cycle sweep stays cache
-//! friendly; the simulator is single-threaded (cycle accuracy fixes the
-//! event order) and sweeps parallelize across runs in [`crate::sweep`].
+//! traffic, offered load) configuration. The engine itself — flat
+//! per-link state arrays and the per-cycle deliver/generate/allocate
+//! phases — lives in [`crate::shard`]; this driver runs a single shard
+//! covering the whole fabric, which fixes the event order and makes it
+//! the oracle for the sharded [`crate::ParallelSimulator`]: both produce
+//! byte-identical [`RunResult`]s for a fixed seed. Serial sweeps
+//! parallelize across runs in [`crate::sweep`] instead.
 
 #[cfg(feature = "audit")]
 use crate::audit::{self, AuditConfig, AuditEvent, Auditor, Violation};
-use crate::config::{EstimateForm, InjectionProcess, SimConfig};
+use crate::config::SimConfig;
 use crate::mechanism::Mechanism;
 #[cfg(feature = "obs")]
 use crate::observe::{ObserveConfig, SimMetrics, SimObserver};
+#[cfg(feature = "audit")]
+use crate::shard::PacketId;
+use crate::shard::{
+    apply_fault_events, assemble_result, stalled_in_network, FaultState, Shard, SimCtx,
+};
 use crate::stats::{RunResult, SampleAccumulator};
-use jellyfish_obs::LogHistogram;
 use jellyfish_routing::PathTable;
-use jellyfish_topology::{DegradedGraph, FaultKind, FaultPlan, Graph, LinkId, NodeId, RrgParams};
+#[cfg(feature = "audit")]
+use jellyfish_topology::{DegradedGraph, LinkId};
+use jellyfish_topology::{FaultPlan, Graph, RrgParams};
 use jellyfish_traffic::PacketDestinations;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
 
-/// Index of a packet in the arena.
-type PacketId = u32;
-
-#[derive(Debug, Default)]
-struct Packet {
-    /// Switch-level route `[src_sw, ..., dst_sw]`; empty until the packet
-    /// reaches the head of its source queue (adaptive decisions use
-    /// fresh network state).
-    path: Vec<NodeId>,
-    /// Network links traversed so far; also the VC for the next traversal.
-    hop: u16,
-    dst_host: u32,
-    gen_cycle: u32,
-    /// Cycles spent stuck behind a failed link without a reroute; the
-    /// packet drops once this exceeds the configured retry budget.
-    retries: u32,
-}
-
-/// Packet arena with a free list; `path` buffers are recycled.
-#[derive(Debug, Default)]
-struct Arena {
-    packets: Vec<Packet>,
-    free: Vec<PacketId>,
-}
-
-impl Arena {
-    fn alloc(&mut self, dst_host: u32, gen_cycle: u32) -> PacketId {
-        if let Some(id) = self.free.pop() {
-            let p = &mut self.packets[id as usize];
-            p.path.clear();
-            p.hop = 0;
-            p.dst_host = dst_host;
-            p.gen_cycle = gen_cycle;
-            p.retries = 0;
-            id
-        } else {
-            self.packets.push(Packet { path: Vec::new(), hop: 0, dst_host, gen_cycle, retries: 0 });
-            (self.packets.len() - 1) as PacketId
-        }
-    }
-
-    #[inline]
-    fn get(&self, id: PacketId) -> &Packet {
-        &self.packets[id as usize]
-    }
-
-    #[inline]
-    fn get_mut(&mut self, id: PacketId) -> &mut Packet {
-        &mut self.packets[id as usize]
-    }
-
-    fn release(&mut self, id: PacketId) {
-        self.free.push(id);
-    }
-
-    fn live(&self) -> usize {
-        self.packets.len() - self.free.len()
-    }
-}
-
-/// Where a request's packet currently queues.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum QueueRef {
-    /// Source queue of a host.
-    Source(u32),
-    /// Network input buffer `(link, vc)` flattened to `qi`.
-    Net(u32),
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Request {
-    local_in: u16,
-    out_local: u16,
-    queue: QueueRef,
-    /// Credit index to consume for a network output; `u32::MAX` for
-    /// ejection.
-    qi_next: u32,
-    packet: PacketId,
-}
-
-/// One simulation run.
+/// One simulation run (serial oracle).
 pub struct Simulator<'a> {
-    graph: &'a Graph,
-    params: RrgParams,
-    table: &'a PathTable,
-    /// All-pairs single shortest paths; required by vanilla UGAL's valiant
-    /// legs.
-    sp_table: Option<&'a PathTable>,
-    mechanism: Mechanism,
-    pattern: PacketDestinations,
-    cfg: SimConfig,
-    rate: f64,
-    num_vcs: usize,
-
-    rng: StdRng,
-    arena: Arena,
-    /// Input buffer occupancy per `(link, vc)`.
-    in_buf: Vec<VecDeque<PacketId>>,
-    /// Bitmask of non-empty VC queues per in-link (hot-loop skip).
-    vc_occ: Vec<u32>,
-    /// Free downstream slots per `(link, vc)` as seen by the sender.
-    credits: Vec<u16>,
-    /// Per-host source queues.
-    src_q: Vec<VecDeque<PacketId>>,
-    /// Channel delay line: packets arriving `channel_latency` cycles after
-    /// send. Slot = arrival cycle % channel_latency.
-    chan: Vec<Vec<(PacketId, u32)>>,
-    /// Credit-return delay line (same slotting).
-    cred: Vec<Vec<u32>>,
-    /// Round-robin pointers per output (network link or ejection port).
-    rr: Vec<u16>,
-    /// First cycle each output is free again (multi-flit packets occupy
-    /// an output for `packet_flits` cycles).
-    out_free: Vec<u32>,
-    /// Round-robin path counters per (src_sw, dst_sw) pair.
-    rr_pair: HashMap<u64, u32>,
-    /// Source-queue overflow observed (implies saturation).
-    overflowed: bool,
-    /// Fluid-injection credit per host (Periodic process only).
-    inj_credit: Vec<f64>,
-    /// Per-directed-link packet counts during measurement.
-    link_sends: Vec<u64>,
-    /// Ejected-packet counts by hop count during measurement.
-    hop_hist: Vec<u64>,
-    /// Log-bucketed latency histogram over measured ejections (feeds the
-    /// percentile block of [`RunResult`]).
-    lat_hist: LogHistogram,
-    min_lat: u64,
-    max_lat: u64,
+    ctx: SimCtx<'a>,
+    shard: Shard,
+    /// Fault schedule driving mid-run link/switch failures, if any.
+    fault_plan: Option<&'a FaultPlan>,
+    /// Degraded view + masked/repaired table, advanced as events fire.
+    fault: Option<FaultState<'a>>,
     /// Per-cycle occupancy/credit-stall sampler, attached via
     /// [`Simulator::with_observer`].
     #[cfg(feature = "obs")]
     observer: Option<SimObserver>,
-
-    /// Fault schedule driving mid-run link/switch failures, if any.
-    fault_plan: Option<&'a FaultPlan>,
-    /// Live view of the fabric under the fault events applied so far.
-    fault_view: Option<DegradedGraph<'a>>,
-    /// Routing table masked and repaired against `fault_view`; `None`
-    /// until the first fault event applies (the intact table serves
-    /// until then).
-    degraded_table: Option<PathTable>,
-    /// Next unapplied event index in `fault_plan`.
-    next_fault: usize,
-    /// Packets lost to faults over the whole run.
-    dropped: u64,
-    /// Packets rerouted around a failed link over the whole run.
-    rerouted: u64,
-    /// Packets injected over the whole run (warmup included) — the
-    /// conservation ledger's debit side.
-    generated_total: u64,
-    /// Packets ejected over the whole run (warmup included).
-    ejected_total: u64,
-    /// Cycle of the most recent ejection (meaningful once
-    /// `ejected_total > 0`).
-    last_ejection: u32,
-    /// Per-cycle invariant auditor, attached via
-    /// [`Simulator::with_auditor`] or the global
-    /// [`crate::audit::install_global`] configuration.
-    #[cfg(feature = "audit")]
-    auditor: Option<Auditor>,
-
     cycle: u32,
-    // scratch (reused each router/cycle to keep the hot loop allocation
-    // free)
-    reqs: Vec<Request>,
-    out_heads: Vec<i32>,
-    next_req: Vec<i32>,
-    granted_req: Vec<bool>,
-    grants: Vec<usize>,
 }
 
 impl<'a> Simulator<'a> {
@@ -213,80 +62,27 @@ impl<'a> Simulator<'a> {
         rate: f64,
         cfg: SimConfig,
     ) -> Self {
-        cfg.validate().expect("invalid simulator configuration");
-        assert_eq!(graph.num_nodes(), params.switches, "graph/params mismatch");
-        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
-        if mechanism.needs_sp_table() {
-            assert!(sp_table.is_some(), "vanilla UGAL needs an all-pairs SP table");
+        let ctx = SimCtx::new(graph, params, table, sp_table, mechanism, pattern, rate, cfg, 1);
+        #[allow(unused_mut)]
+        let mut shard = Shard::new(&ctx, 0);
+        #[cfg(feature = "audit")]
+        {
+            shard.auditor = audit::global_config().map(Auditor::new);
         }
-        let mut num_vcs = table.max_hops().max(1);
-        if let Some(sp) = sp_table {
-            if mechanism.needs_sp_table() {
-                num_vcs = num_vcs.max(2 * sp.max_hops().max(1));
-            }
-        }
-        let links = graph.num_links();
-        let hosts = params.num_hosts();
-        // A packet's tail arrives channel_latency + (flits - 1) cycles
-        // after the grant; size the delay lines accordingly.
-        let lat = cfg.channel_latency as usize + cfg.packet_flits as usize - 1;
-        let max_out = (0..graph.num_nodes() as NodeId).map(|u| graph.degree(u)).max().unwrap_or(0)
-            + params.hosts_per_switch();
-        assert!(max_out <= 64, "router radix {max_out} exceeds the allocator's 64-port limit");
-        assert!(num_vcs <= 32, "hop-indexed VC count {num_vcs} exceeds the 32-bit occupancy mask");
         Self {
-            graph,
-            params,
-            table,
-            sp_table,
-            mechanism,
-            pattern,
-            cfg,
-            rate,
-            num_vcs,
-            rng: StdRng::seed_from_u64(cfg.seed),
-            arena: Arena::default(),
-            in_buf: (0..links * num_vcs).map(|_| VecDeque::new()).collect(),
-            vc_occ: vec![0; links],
-            credits: vec![cfg.vc_buffer; links * num_vcs],
-            src_q: (0..hosts).map(|_| VecDeque::new()).collect(),
-            chan: (0..lat).map(|_| Vec::new()).collect(),
-            cred: (0..lat).map(|_| Vec::new()).collect(),
-            rr: vec![0; links + hosts],
-            out_free: vec![0; links + hosts],
-            rr_pair: HashMap::new(),
-            overflowed: false,
-            inj_credit: vec![0.0; hosts],
-            link_sends: vec![0; links],
-            hop_hist: vec![0; num_vcs + 1],
-            lat_hist: LogHistogram::new(),
-            min_lat: u64::MAX,
-            max_lat: 0,
+            ctx,
+            shard,
+            fault_plan: None,
+            fault: None,
             #[cfg(feature = "obs")]
             observer: None,
-            fault_plan: None,
-            fault_view: None,
-            degraded_table: None,
-            next_fault: 0,
-            dropped: 0,
-            rerouted: 0,
-            generated_total: 0,
-            ejected_total: 0,
-            last_ejection: 0,
-            #[cfg(feature = "audit")]
-            auditor: audit::global_config().map(Auditor::new),
             cycle: 0,
-            reqs: Vec::with_capacity(256),
-            out_heads: vec![-1; max_out],
-            next_req: Vec::with_capacity(256),
-            granted_req: Vec::with_capacity(256),
-            grants: Vec::with_capacity(64),
         }
     }
 
     /// Number of virtual channels in use (hop-indexed).
     pub fn num_vcs(&self) -> usize {
-        self.num_vcs
+        self.ctx.num_vcs
     }
 
     /// Attaches a fault schedule. Must be called before [`Self::run`].
@@ -297,654 +93,36 @@ impl<'a> Simulator<'a> {
     /// that budget are trimmed when faults apply.
     pub fn with_fault_plan(mut self, plan: &'a FaultPlan) -> Self {
         assert_eq!(self.cycle, 0, "attach fault plans before running");
-        let vcs = (self.num_vcs + 2).min(32);
-        if vcs != self.num_vcs {
-            self.num_vcs = vcs;
-            let links = self.graph.num_links();
-            self.in_buf = (0..links * vcs).map(|_| VecDeque::new()).collect();
-            self.credits = vec![self.cfg.vc_buffer; links * vcs];
-            self.hop_hist = vec![0; vcs + 1];
+        let vcs = (self.ctx.num_vcs + 2).min(32);
+        if vcs != self.ctx.num_vcs {
+            self.ctx.num_vcs = vcs;
+            // Queue geometry changed: rebuild the (still pristine)
+            // shard, carrying over any pre-attached hooks.
+            #[cfg(feature = "audit")]
+            let auditor = self.shard.auditor.take();
+            let reverse = self.shard.reverse_order;
+            self.shard = Shard::new(&self.ctx, 0);
+            self.shard.reverse_order = reverse;
+            #[cfg(feature = "audit")]
+            {
+                self.shard.auditor = auditor;
+            }
         }
-        self.fault_view = Some(DegradedGraph::new(self.graph));
+        self.fault = Some(FaultState::new(self.ctx.graph));
         self.fault_plan = Some(plan);
         self
     }
 
-    #[inline]
-    fn qi(&self, link: LinkId, vc: u16) -> u32 {
-        link * self.num_vcs as u32 + vc as u32
-    }
-
-    /// Total downstream occupancy of the channel `u -> v` over all VCs —
-    /// the "queue length" of the adaptive latency estimates.
-    fn congestion(&self, u: NodeId, v: NodeId) -> u32 {
-        let link = self.graph.link_id(u, v).expect("candidate first hop must exist");
-        let base = (link as usize) * self.num_vcs;
-        let full = self.cfg.vc_buffer as u32 * self.num_vcs as u32;
-        let free: u32 = self.credits[base..base + self.num_vcs].iter().map(|&c| c as u32).sum();
-        full - free
-    }
-
-    /// Latency estimate for a candidate path (see [`EstimateForm`]).
-    fn estimate(&self, path: &[NodeId]) -> u64 {
-        if path.len() < 2 {
-            return 0;
-        }
-        let hops = (path.len() - 1) as u64;
-        let q = self.congestion(path[0], path[1]) as u64;
-        match self.cfg.estimate {
-            EstimateForm::QueuePlusHopLatency => q + (self.cfg.channel_latency as u64 + 1) * hops,
-            EstimateForm::QueueTimesHops => q * hops,
-        }
-    }
-
-    /// Chooses the route for a packet from `src_sw` to `dst_sw` and writes
-    /// it into `out`.
-    fn choose_path(&mut self, src_sw: NodeId, dst_sw: NodeId, out: &mut Vec<NodeId>) {
-        out.clear();
-        if src_sw == dst_sw {
-            out.push(src_sw);
-            return;
-        }
-        let table = self.degraded_table.as_ref().unwrap_or(self.table);
-        let Some(ps) = table.get(src_sw, dst_sw) else {
-            assert!(self.fault_plan.is_some(), "path table missing pair {src_sw}->{dst_sw}");
-            return; // disconnected under faults: the caller drops the packet
-        };
-        if ps.is_empty() {
-            assert!(self.fault_plan.is_some(), "no paths for pair {src_sw}->{dst_sw}");
-            return; // disconnected under faults: the caller drops the packet
-        }
-        let k = ps.len();
-        match self.mechanism {
-            Mechanism::SinglePath => out.extend_from_slice(ps.path(0)),
-            Mechanism::Random => {
-                let i = self.rng.random_range(0..k);
-                out.extend_from_slice(ps.path(i));
-            }
-            Mechanism::RoundRobin => {
-                let key = ((src_sw as u64) << 32) | dst_sw as u64;
-                let ctr = self.rr_pair.entry(key).or_insert(0);
-                let i = (*ctr as usize) % k;
-                *ctr = ctr.wrapping_add(1);
-                out.extend_from_slice(ps.path(i));
-            }
-            Mechanism::KspAdaptive => {
-                // Two random candidates among the k paths; smaller
-                // estimated latency wins.
-                let i = self.rng.random_range(0..k);
-                let j = if k > 1 {
-                    let mut j = self.rng.random_range(0..k - 1);
-                    if j >= i {
-                        j += 1;
-                    }
-                    j
-                } else {
-                    i
-                };
-                let (a, b) = (ps.path(i), ps.path(j));
-                let pick = if self.estimate(a) <= self.estimate(b) { a } else { b };
-                out.extend_from_slice(pick);
-            }
-            Mechanism::KspUgal => {
-                // Minimal = shortest table path; non-minimal = random
-                // other. The selection schemes all emit length-sorted
-                // paths, but repaired or externally loaded tables make
-                // no ordering promise, so the minimal path is selected
-                // by length rather than assumed to sit at index 0.
-                let mi = ps.shortest_index();
-                let min = ps.path(mi);
-                if k == 1 {
-                    out.extend_from_slice(min);
-                    return;
-                }
-                // One draw over the k-1 non-minimal indices; for sorted
-                // tables (mi == 0) this consumes the RNG identically to
-                // a draw over 1..k.
-                let mut j = self.rng.random_range(0..k - 1);
-                if j >= mi {
-                    j += 1;
-                }
-                let non = ps.path(j);
-                let take_min =
-                    self.estimate(min) as i64 <= self.estimate(non) as i64 + self.cfg.ugal_bias;
-                out.extend_from_slice(if take_min { min } else { non });
-            }
-            Mechanism::VanillaUgal => {
-                let sp = self.sp_table.expect("checked in new()");
-                let min = ps.path(ps.shortest_index());
-                let n = self.graph.num_nodes() as u32;
-                // Random intermediate distinct from both endpoints.
-                let mut inter = self.rng.random_range(0..n);
-                while inter == src_sw || inter == dst_sw {
-                    inter = self.rng.random_range(0..n);
-                }
-                let leg1 = sp.get(src_sw, inter).expect("sp table is all-pairs").path(0);
-                let leg2 = sp.get(inter, dst_sw).expect("sp table is all-pairs").path(0);
-                let non_hops = (leg1.len() - 1 + leg2.len() - 1) as u64;
-                let est_min = self.estimate(min);
-                let q_non = self.congestion(leg1[0], leg1[1]) as u64;
-                let est_non = match self.cfg.estimate {
-                    EstimateForm::QueuePlusHopLatency => {
-                        q_non + (self.cfg.channel_latency as u64 + 1) * non_hops
-                    }
-                    EstimateForm::QueueTimesHops => q_non * non_hops,
-                };
-                if est_min as i64 <= est_non as i64 + self.cfg.ugal_bias {
-                    out.extend_from_slice(min);
-                } else {
-                    out.extend_from_slice(leg1);
-                    out.extend_from_slice(&leg2[1..]);
-                }
-            }
-        }
-    }
-
-    /// Generates new packets for this cycle according to the configured
-    /// injection process.
-    fn generate(&mut self, measuring: bool, generated: &mut u64) {
-        let hosts = self.params.num_hosts();
-        for h in 0..hosts as u32 {
-            if let Some(view) = &self.fault_view {
-                // Hosts of a failed switch are off the network.
-                if !view.node_is_live(self.params.switch_of_host(h as usize)) {
-                    continue;
-                }
-            }
-            let fire = match self.cfg.injection {
-                InjectionProcess::Bernoulli => self.rng.random::<f64>() < self.rate,
-                InjectionProcess::Periodic => {
-                    self.inj_credit[h as usize] += self.rate;
-                    if self.inj_credit[h as usize] >= 1.0 {
-                        self.inj_credit[h as usize] -= 1.0;
-                        true
-                    } else {
-                        false
-                    }
-                }
-            };
-            if !fire {
-                continue;
-            }
-            let Some(dst) = self.pattern.sample(h, &mut self.rng) else {
-                continue;
-            };
-            if self.src_q[h as usize].len() >= self.cfg.source_queue_cap {
-                self.overflowed = true;
-                continue;
-            }
-            let id = self.arena.alloc(dst, self.cycle);
-            self.src_q[h as usize].push_back(id);
-            self.generated_total += 1;
-            #[cfg(feature = "audit")]
-            self.audit_record(AuditEvent::Inject { cycle: self.cycle, host: h, packet: id });
-            if measuring {
-                *generated += 1;
-            }
-        }
-    }
-
-    /// One allocation pass over every router; returns ejections as
-    /// `(packet, latency)` handled inline into `acc`.
-    fn allocate(&mut self, measuring: bool, acc: &mut SampleAccumulator, ejected: &mut u64) {
-        let n = self.graph.num_nodes() as NodeId;
-        let hps = self.params.hosts_per_switch();
-        // Per-router phase spans (route / arbitrate / eject) are the
-        // finest trace granularity; they run on a sparser stride than the
-        // cycle-stage spans so full sweeps stay cheap.
-        #[cfg(feature = "obs")]
-        let detail = jellyfish_obs::trace::enabled()
-            && self.cycle.is_multiple_of(jellyfish_obs::trace::detail_stride());
-        for r in 0..n {
-            let deg = self.graph.degree(r);
-            let out_base = self.graph.out_links(r).start;
-            #[cfg(feature = "obs")]
-            let route_span = detail.then(|| jellyfish_obs::trace::span("flitsim.phase.route"));
-            // Gather requests.
-            self.reqs.clear();
-            // Network inputs: local in-port i is the reverse direction of
-            // local out-link i.
-            for i in 0..deg {
-                let out_link = out_base + i as u32;
-                let in_link = self.graph.reverse_link(out_link);
-                let mut occ = self.vc_occ[in_link as usize];
-                while occ != 0 {
-                    let vc = occ.trailing_zeros() as u16;
-                    occ &= occ - 1;
-                    let qi = self.qi(in_link, vc);
-                    let pkt = *self.in_buf[qi as usize].front().expect("occupancy bit set");
-                    if self.fault_view.is_some() && !self.fault_fate(pkt, r) {
-                        self.drop_net_head(qi);
-                        continue;
-                    }
-                    if let Some(req) =
-                        self.request_for(pkt, r, deg, out_base, i as u16, QueueRef::Net(qi))
-                    {
-                        self.reqs.push(req);
-                    }
-                }
-            }
-            // Injection inputs: one source queue per local host.
-            let host_range = self.params.hosts_of_switch(r);
-            for (slot, h) in host_range.clone().enumerate() {
-                let Some(&pkt) = self.src_q[h].front() else {
-                    continue;
-                };
-                // Route on first observation at the head of the queue so
-                // adaptive mechanisms see current congestion.
-                if self.arena.get(pkt).path.is_empty() {
-                    let dst_sw = self.params.switch_of_host(self.arena.get(pkt).dst_host as usize);
-                    let mut path = std::mem::take(&mut self.arena.get_mut(pkt).path);
-                    self.choose_path(r, dst_sw, &mut path);
-                    self.arena.get_mut(pkt).path = path;
-                    if self.arena.get(pkt).path.is_empty() {
-                        // No surviving route to the destination.
-                        self.src_q[h].pop_front();
-                        #[cfg(feature = "audit")]
-                        self.audit_record(AuditEvent::Drop {
-                            cycle: self.cycle,
-                            router: r,
-                            qi: u32::MAX,
-                            packet: pkt,
-                        });
-                        self.arena.release(pkt);
-                        self.dropped += 1;
-                        continue;
-                    }
-                }
-                if self.fault_view.is_some() && !self.fault_fate(pkt, r) {
-                    self.src_q[h].pop_front();
-                    #[cfg(feature = "audit")]
-                    self.audit_record(AuditEvent::Drop {
-                        cycle: self.cycle,
-                        router: r,
-                        qi: u32::MAX,
-                        packet: pkt,
-                    });
-                    self.arena.release(pkt);
-                    self.dropped += 1;
-                    continue;
-                }
-                if let Some(req) = self.request_for(
-                    pkt,
-                    r,
-                    deg,
-                    out_base,
-                    (deg + slot) as u16,
-                    QueueRef::Source(h as u32),
-                ) {
-                    self.reqs.push(req);
-                }
-            }
-            #[cfg(feature = "obs")]
-            drop(route_span);
-            if self.reqs.is_empty() {
-                continue;
-            }
-            #[cfg(feature = "obs")]
-            let arb_span = detail.then(|| jellyfish_obs::trace::span("flitsim.phase.arbitrate"));
-
-            // Separable allocation with `alloc_iters` iterations: each
-            // output grants at most one request per cycle (channel bound);
-            // each input port wins at most `alloc_iters` times (router
-            // speedup).
-            let num_out = deg + hps;
-            // Chain requests per output: out_heads[o] -> first req index.
-            let out_heads = &mut self.out_heads[..num_out];
-            out_heads.fill(-1);
-            self.next_req.clear();
-            self.next_req.resize(self.reqs.len(), -1);
-            for (idx, req) in self.reqs.iter().enumerate().rev() {
-                self.next_req[idx] = out_heads[req.out_local as usize];
-                out_heads[req.out_local as usize] = idx as i32;
-            }
-            let mut in_grants = [0u8; 64];
-            self.granted_req.clear();
-            self.granted_req.resize(self.reqs.len(), false);
-            self.grants.clear();
-            for _ in 0..self.cfg.alloc_iters {
-                #[allow(clippy::needless_range_loop)] // o indexes three arrays
-                for o in 0..num_out {
-                    if out_heads[o] == i32::MIN || out_heads[o] == -1 {
-                        continue; // no requests / already granted this cycle
-                    }
-                    // Round-robin pointer over local input indices.
-                    let rr_key = if o < deg {
-                        (out_base + o as u32) as usize
-                    } else {
-                        self.graph.num_links() + host_range.start + (o - deg)
-                    };
-                    let ptr = self.rr[rr_key];
-                    let mut best: Option<(u16, usize)> = None; // (rotated idx, req)
-                    let total_in = (deg + hps) as u16;
-                    let mut cur = out_heads[o];
-                    while cur >= 0 {
-                        let req = &self.reqs[cur as usize];
-                        if !self.granted_req[cur as usize]
-                            && in_grants[req.local_in as usize] < self.cfg.alloc_iters
-                        {
-                            let rot = (req.local_in + total_in - ptr) % total_in;
-                            if best.is_none_or(|(b, _)| rot < b) {
-                                best = Some((rot, cur as usize));
-                            }
-                        }
-                        cur = self.next_req[cur as usize];
-                    }
-                    if let Some((_, ridx)) = best {
-                        self.granted_req[ridx] = true;
-                        let li = self.reqs[ridx].local_in;
-                        in_grants[li as usize] += 1;
-                        self.rr[rr_key] = (li + 1) % total_in;
-                        self.grants.push(ridx);
-                        out_heads[o] = i32::MIN;
-                    }
-                }
-            }
-
-            #[cfg(feature = "obs")]
-            drop(arb_span);
-            #[cfg(feature = "obs")]
-            let _eject_span = detail.then(|| jellyfish_obs::trace::span("flitsim.phase.eject"));
-            // Apply grants.
-            let grants = std::mem::take(&mut self.grants);
-            for &ridx in &grants {
-                let req = self.reqs[ridx];
-                // Pop from the source queue / input buffer.
-                let popped = match req.queue {
-                    QueueRef::Source(h) => self.src_q[h as usize].pop_front(),
-                    QueueRef::Net(qi) => {
-                        // Return the freed slots' credit upstream after the
-                        // channel latency.
-                        let slot =
-                            (self.cycle + self.cfg.channel_latency) as usize % self.cred.len();
-                        self.cred[slot].push(qi);
-                        let popped = self.in_buf[qi as usize].pop_front();
-                        if self.in_buf[qi as usize].is_empty() {
-                            self.vc_occ[qi as usize / self.num_vcs] &=
-                                !(1 << (qi as usize % self.num_vcs));
-                        }
-                        popped
-                    }
-                };
-                debug_assert_eq!(popped, Some(req.packet));
-                let flits = self.cfg.packet_flits as u32;
-                if flits > 1 {
-                    let key = if req.qi_next == u32::MAX {
-                        self.graph.num_links() + self.arena.get(req.packet).dst_host as usize
-                    } else {
-                        req.qi_next as usize / self.num_vcs
-                    };
-                    self.out_free[key] = self.cycle + flits;
-                }
-                if req.qi_next == u32::MAX {
-                    // Ejection: packet leaves the network.
-                    let pkt = self.arena.get(req.packet);
-                    let latency = (self.cycle - pkt.gen_cycle) as u64;
-                    let hops = (pkt.hop as usize).min(self.hop_hist.len() - 1);
-                    #[cfg(feature = "audit")]
-                    let host = pkt.dst_host;
-                    if measuring {
-                        acc.record(latency);
-                        self.lat_hist.record(latency);
-                        *ejected += 1;
-                        self.min_lat = self.min_lat.min(latency);
-                        self.max_lat = self.max_lat.max(latency);
-                        self.hop_hist[hops] += 1;
-                    }
-                    self.ejected_total += 1;
-                    self.last_ejection = self.cycle;
-                    #[cfg(feature = "audit")]
-                    self.audit_record(AuditEvent::Eject {
-                        cycle: self.cycle,
-                        router: r,
-                        host,
-                        packet: req.packet,
-                    });
-                    self.arena.release(req.packet);
-                } else {
-                    // Onto the channel; consume the downstream credits.
-                    debug_assert!(self.credits[req.qi_next as usize] >= self.cfg.packet_flits);
-                    self.credits[req.qi_next as usize] -= self.cfg.packet_flits;
-                    self.arena.get_mut(req.packet).hop += 1;
-                    if measuring {
-                        self.link_sends[req.qi_next as usize / self.num_vcs] += 1;
-                    }
-                    #[cfg(feature = "audit")]
-                    self.audit_record(AuditEvent::Forward {
-                        cycle: self.cycle,
-                        router: r,
-                        qi: req.qi_next,
-                        packet: req.packet,
-                    });
-                    // Tail flit lands after serialization + wire delay.
-                    let arrive =
-                        self.cycle + self.cfg.channel_latency + self.cfg.packet_flits as u32 - 1;
-                    let slot = arrive as usize % self.chan.len();
-                    self.chan[slot].push((req.packet, req.qi_next));
-                }
-            }
-            self.grants = grants;
-        }
-    }
-
-    /// Checks a head packet's next link under the current fault view.
-    /// Returns `true` when the packet may proceed (the link is live, or a
-    /// reroute onto a surviving path succeeded) and `false` once it has
-    /// exhausted its retry budget and must be dropped by the caller.
-    fn fault_fate(&mut self, pkt_id: PacketId, r: NodeId) -> bool {
-        let (hop, path_len, dst_host) = {
-            let pkt = self.arena.get(pkt_id);
-            (pkt.hop as usize, pkt.path.len(), pkt.dst_host)
-        };
-        if hop + 1 >= path_len {
-            return true; // at the destination switch: ejection needs no link
-        }
-        let next = self.arena.get(pkt_id).path[hop + 1];
-        let link = self.graph.link_id(r, next).expect("route follows edges");
-        let view = self.fault_view.as_ref().expect("checked by caller");
-        if view.link_is_live(link) {
-            return true;
-        }
-        // The next link is dead: splice a surviving route from here. All
-        // degraded-table paths are live and fit the VC budget after
-        // `retain_max_hops`, so a candidate only has to fit the hops this
-        // packet already consumed.
-        let dst_sw = self.params.switch_of_host(dst_host as usize);
-        let budget = self.num_vcs - hop;
-        let table = self.degraded_table.as_ref().unwrap_or(self.table);
-        let mut choice = None;
-        let mut seen = 0u32;
-        if let Some(ps) = table.get(r, dst_sw) {
-            // Uniform reservoir sample over the candidates that fit.
-            for i in 0..ps.len() {
-                if ps.path(i).len() - 1 <= budget {
-                    seen += 1;
-                    if self.rng.random_range(0..seen) == 0 {
-                        choice = Some(i);
-                    }
-                }
-            }
-        }
-        match choice {
-            Some(i) => {
-                let tail = table.get(r, dst_sw).expect("sampled above").path(i).to_vec();
-                let pkt = self.arena.get_mut(pkt_id);
-                pkt.path.truncate(hop + 1);
-                debug_assert_eq!(*pkt.path.last().expect("non-empty prefix"), r);
-                pkt.path.extend_from_slice(&tail[1..]);
-                pkt.retries = 0;
-                self.rerouted += 1;
-                #[cfg(feature = "audit")]
-                self.audit_record(AuditEvent::Reroute {
-                    cycle: self.cycle,
-                    router: r,
-                    packet: pkt_id,
-                });
-                true
-            }
-            None => {
-                let pkt = self.arena.get_mut(pkt_id);
-                pkt.retries += 1;
-                pkt.retries <= self.cfg.fault_retry_budget
-            }
-        }
-    }
-
-    /// Drops the head packet of network queue `qi` with the same
-    /// bookkeeping as a grant (upstream credit return, occupancy bit).
-    fn drop_net_head(&mut self, qi: u32) {
-        let slot = (self.cycle + self.cfg.channel_latency) as usize % self.cred.len();
-        self.cred[slot].push(qi);
-        let popped = self.in_buf[qi as usize].pop_front().expect("head exists");
-        if self.in_buf[qi as usize].is_empty() {
-            self.vc_occ[qi as usize / self.num_vcs] &= !(1 << (qi as usize % self.num_vcs));
-        }
-        #[cfg(feature = "audit")]
-        {
-            let router = self.graph.link_dst((qi / self.num_vcs as u32) as LinkId);
-            self.audit_record(AuditEvent::Drop { cycle: self.cycle, router, qi, packet: popped });
-        }
-        self.arena.release(popped);
-        self.dropped += 1;
-    }
-
-    /// Applies every fault event due at the current cycle: updates the
-    /// degraded view, rebuilds the masked + repaired routing table, drops
-    /// packets in flight on cut wires, and drains the input buffers of
-    /// failed switches.
-    fn apply_pending_faults(&mut self) {
-        let Some(plan) = self.fault_plan else { return };
-        let events = plan.events();
-        if self.next_fault >= events.len() {
-            return;
-        }
-        let now = self.cycle as u64;
-        let first = self.next_fault;
-        while self.next_fault < events.len() && events[self.next_fault].time <= now {
-            let view = self.fault_view.as_mut().expect("set with the plan");
-            view.apply(events[self.next_fault].kind);
-            self.next_fault += 1;
-        }
-        if self.next_fault == first {
-            return;
-        }
-        #[cfg(feature = "audit")]
-        self.audit_record(AuditEvent::Fault {
-            cycle: self.cycle,
-            events: (self.next_fault - first) as u32,
-        });
-        // Refresh the degraded routing table: mask dead paths and — when
-        // modelling a reconverging control plane — repair the affected
-        // pairs on the surviving fabric, trimming any repaired route
-        // that no longer fits the VC budget.
-        let mut table = self.degraded_table.take().unwrap_or_else(|| self.table.clone());
-        {
-            let view = self.fault_view.as_ref().expect("set with the plan");
-            let report = table.apply_faults(view);
-            if self.cfg.fault_repair {
-                table.repair(view, &report.affected_pairs(), self.cfg.seed ^ now);
-                table.retain_max_hops(self.num_vcs);
-            }
-        }
-        self.degraded_table = Some(table);
-        // Packets whose flits are on a cut wire are lost.
-        for slot in 0..self.chan.len() {
-            let mut i = 0;
-            while i < self.chan[slot].len() {
-                let (pkt, qi) = self.chan[slot][i];
-                let link = (qi as usize / self.num_vcs) as LinkId;
-                if self.fault_view.as_ref().expect("set with the plan").link_is_live(link) {
-                    i += 1;
-                } else {
-                    self.chan[slot].swap_remove(i);
-                    #[cfg(feature = "audit")]
-                    self.audit_record(AuditEvent::Drop {
-                        cycle: self.cycle,
-                        router: self.graph.link_dst(link),
-                        qi,
-                        packet: pkt,
-                    });
-                    self.arena.release(pkt);
-                    self.dropped += 1;
-                }
-            }
-        }
-        // A failed switch loses its buffered packets (and its hosts stop
-        // injecting — see `generate`).
-        for e in &events[first..self.next_fault] {
-            let FaultKind::Switch { node } = e.kind else { continue };
-            for l in self.graph.out_links(node) {
-                let in_link = self.graph.reverse_link(l);
-                for vc in 0..self.num_vcs as u16 {
-                    let qi = self.qi(in_link, vc) as usize;
-                    while let Some(p) = self.in_buf[qi].pop_front() {
-                        #[cfg(feature = "audit")]
-                        self.audit_record(AuditEvent::Drop {
-                            cycle: self.cycle,
-                            router: node,
-                            qi: qi as u32,
-                            packet: p,
-                        });
-                        self.arena.release(p);
-                        self.dropped += 1;
-                    }
-                }
-                self.vc_occ[in_link as usize] = 0;
-            }
-        }
-    }
-
-    /// Builds the request for a head packet at router `r`, or `None` if it
-    /// cannot move this cycle (no downstream credit).
-    fn request_for(
-        &self,
-        pkt_id: PacketId,
-        r: NodeId,
-        deg: usize,
-        out_base: u32,
-        local_in: u16,
-        queue: QueueRef,
-    ) -> Option<Request> {
-        let pkt = self.arena.get(pkt_id);
-        let dst_sw = self.params.switch_of_host(pkt.dst_host as usize);
-        debug_assert_eq!(pkt.path[pkt.hop as usize], r, "packet off its route");
-        if r == dst_sw && pkt.hop as usize == pkt.path.len() - 1 {
-            // Eject to the local host (if its port is free).
-            if self.out_free[self.graph.num_links() + pkt.dst_host as usize] > self.cycle {
-                return None;
-            }
-            let slot = pkt.dst_host as usize - self.params.hosts_of_switch(r).start;
-            return Some(Request {
-                local_in,
-                out_local: (deg + slot) as u16,
-                queue,
-                qi_next: u32::MAX,
-                packet: pkt_id,
-            });
-        }
-        let next = pkt.path[pkt.hop as usize + 1];
-        let out_link = self.graph.link_id(r, next).expect("route follows edges");
-        if let Some(view) = &self.fault_view {
-            if !view.link_is_live(out_link) {
-                return None; // failed link: fault handling reroutes or drops
-            }
-        }
-        let vc = pkt.hop; // hop-indexed VC
-        debug_assert!((vc as usize) < self.num_vcs, "path longer than VC count");
-        if self.out_free[out_link as usize] > self.cycle {
-            return None; // channel still serializing a previous packet
-        }
-        let qi_next = self.qi(out_link, vc);
-        if self.credits[qi_next as usize] < self.cfg.packet_flits {
-            return None;
-        }
-        Some(Request {
-            local_in,
-            out_local: (out_link - out_base) as u16,
-            queue,
-            qi_next,
-            packet: pkt_id,
-        })
+    /// Test hook: visit routers in reverse order during allocation.
+    ///
+    /// Pins the engine's no-cross-router-ordering-dependence contract
+    /// (the invariant that makes sharding legal): all randomness comes
+    /// from per-entity streams and every cross-router effect lands via
+    /// the delay lines at a later cycle, so reversing the visit order
+    /// must not change a single result byte.
+    #[doc(hidden)]
+    pub fn debug_reverse_router_order(&mut self) {
+        self.shard.reverse_order = true;
     }
 
     /// Runs the configured warmup + measurement schedule.
@@ -956,25 +134,24 @@ impl<'a> Simulator<'a> {
     /// information. Non-saturated runs are unaffected.
     pub fn run(&mut self) -> RunResult {
         let _run_span = jellyfish_obs::span("flitsim.sim.run");
-        let total = self.cfg.total_cycles();
+        let total = self.ctx.cfg.total_cycles();
         let mut acc = SampleAccumulator::default();
-        let mut generated = 0u64;
-        let mut ejected = 0u64;
         let mut early_saturated = false;
         // Measured cycles since the last window close; a nonzero value
         // after the loop means a partial window must still be closed.
         let mut window_cycles = 0u32;
         while self.cycle < total {
-            let measuring = self.cycle >= self.cfg.warmup_cycles;
+            let cycle = self.cycle;
+            let measuring = cycle >= self.ctx.cfg.warmup_cycles;
             #[cfg(feature = "obs")]
             if let Some(obs) = self.observer.as_mut() {
                 if measuring {
                     obs.maybe_sample(
-                        self.cycle - self.cfg.warmup_cycles,
-                        &self.credits,
-                        self.cfg.vc_buffer,
-                        self.cfg.packet_flits,
-                        self.num_vcs,
+                        cycle - self.ctx.cfg.warmup_cycles,
+                        &self.shard.credits,
+                        self.ctx.cfg.vc_buffer,
+                        self.ctx.cfg.packet_flits,
+                        self.ctx.num_vcs,
                     );
                 }
             }
@@ -982,37 +159,39 @@ impl<'a> Simulator<'a> {
             // full sweep stays within the tracing overhead budget.
             #[cfg(feature = "obs")]
             let trace_cycle = jellyfish_obs::trace::enabled()
-                && self.cycle.is_multiple_of(jellyfish_obs::trace::cycle_stride());
+                && cycle.is_multiple_of(jellyfish_obs::trace::cycle_stride());
             {
                 #[cfg(feature = "obs")]
                 let _t = trace_cycle.then(|| jellyfish_obs::trace::span("flitsim.cycle.traverse"));
                 // 0. Cut links/switches whose failure time is due, before
                 //    the wire delivers: packets on a cut wire are lost.
-                self.apply_pending_faults();
+                if let Some(plan) = self.fault_plan {
+                    let fired = {
+                        let fs = self.fault.as_mut().expect("set with the plan");
+                        apply_fault_events(&self.ctx, fs, plan, cycle as u64)
+                    };
+                    if let Some(fired) = fired {
+                        #[cfg(feature = "audit")]
+                        self.shard
+                            .audit_record(AuditEvent::Fault { cycle, events: fired.len() as u32 });
+                        let fs = self.fault.as_ref().expect("set with the plan");
+                        self.shard.fault_drops(&self.ctx, fs, plan, fired, cycle);
+                    }
+                }
                 // 1. Deliver channel arrivals and credit returns due now.
-                let slot = self.cycle as usize % self.chan.len();
-                let arrivals = std::mem::take(&mut self.chan[slot]);
-                for (pkt, qi) in arrivals {
-                    self.in_buf[qi as usize].push_back(pkt);
-                    self.vc_occ[qi as usize / self.num_vcs] |= 1 << (qi as usize % self.num_vcs);
-                }
-                let returns = std::mem::take(&mut self.cred[slot]);
-                for qi in returns {
-                    self.credits[qi as usize] += self.cfg.packet_flits;
-                    debug_assert!(self.credits[qi as usize] <= self.cfg.vc_buffer);
-                }
+                self.shard.deliver(&self.ctx, cycle);
             }
             {
                 #[cfg(feature = "obs")]
                 let _t = trace_cycle.then(|| jellyfish_obs::trace::span("flitsim.cycle.inject"));
                 // 2. Inject new traffic.
-                self.generate(measuring, &mut generated);
+                self.shard.generate(&self.ctx, self.fault.as_ref(), cycle, measuring);
             }
             {
                 #[cfg(feature = "obs")]
                 let _t = trace_cycle.then(|| jellyfish_obs::trace::span("flitsim.cycle.allocate"));
                 // 3. Switch allocation + transfers.
-                self.allocate(measuring, &mut acc, &mut ejected);
+                self.shard.allocate(&self.ctx, self.fault.as_ref(), cycle, measuring);
             }
             // 4. End-of-cycle invariant audit (never perturbs the run).
             #[cfg(feature = "audit")]
@@ -1022,14 +201,16 @@ impl<'a> Simulator<'a> {
             if measuring {
                 window_cycles += 1;
             }
-            if self.overflowed {
+            if self.shard.overflowed {
                 early_saturated = true;
                 break;
             }
             if measuring
-                && (self.cycle - self.cfg.warmup_cycles).is_multiple_of(self.cfg.sample_cycles)
+                && (self.cycle - self.ctx.cfg.warmup_cycles)
+                    .is_multiple_of(self.ctx.cfg.sample_cycles)
             {
-                acc.end_window();
+                let (sum, count) = self.shard.take_window();
+                acc.push_window(sum, count);
                 window_cycles = 0;
                 let worst = acc.window_means().last().copied().unwrap_or(f64::NAN);
                 // An empty window only signals saturation once traffic
@@ -1039,8 +220,9 @@ impl<'a> Simulator<'a> {
                 // the zero-load flight time legitimately closes with
                 // zero ejections while every live packet still sits in
                 // a source queue.
-                if worst > self.cfg.saturation_latency
-                    || (worst.is_nan() && self.stalled_in_network())
+                if worst > self.ctx.cfg.saturation_latency
+                    || (worst.is_nan()
+                        && stalled_in_network(&self.ctx, &[&self.shard], self.cycle, 0))
                 {
                     early_saturated = true;
                     break;
@@ -1053,55 +235,17 @@ impl<'a> Simulator<'a> {
         // `sample_latencies` and `total_ejected()` disagrees with
         // `ejected`.
         if window_cycles > 0 {
-            acc.end_window();
+            let (sum, count) = self.shard.take_window();
+            acc.push_window(sum, count);
         }
-        debug_assert_eq!(acc.total_ejected(), ejected);
-
-        let sample_latencies = acc.window_means();
-        // Same guarded empty-window verdict as the early-exit check:
-        // an all-NaN run whose packets never left the source queues
-        // (or never existed) is idle, not saturated.
-        let stalled = self.stalled_in_network();
-        let saturated = early_saturated
-            || self.overflowed
-            || sample_latencies
-                .iter()
-                .any(|m| m.is_nan() && stalled || *m > self.cfg.saturation_latency);
         #[cfg(all(feature = "audit", feature = "obs"))]
-        if let Some(aud) = &self.auditor {
+        if let Some(aud) = &self.shard.auditor {
             let _span = jellyfish_obs::span("flitsim.audit.report");
             let mut reg = jellyfish_obs::global();
             reg.counter_add("flitsim.audit.cycles", aud.cycles_checked());
             reg.counter_add("flitsim.audit.events", aud.events_recorded());
         }
-        // Normalize rates by the cycles actually measured, not by the
-        // configured measurement length: early termination would
-        // otherwise deflate `accepted` and every link utilization.
-        let measured_cycles = u64::from(self.cycle.saturating_sub(self.cfg.warmup_cycles));
-        let meas_cycles = measured_cycles.max(1) as f64;
-        let utils: Vec<f64> = self.link_sends.iter().map(|&s| s as f64 / meas_cycles).collect();
-        let (p50, p90, p99, p999) = self.lat_hist.percentiles();
-        RunResult {
-            offered: self.rate,
-            accepted: ejected as f64 / (self.params.num_hosts() as f64 * meas_cycles),
-            avg_latency: acc.overall_mean(),
-            sample_latencies,
-            saturated,
-            generated,
-            ejected,
-            measured_cycles,
-            min_latency: if self.min_lat == u64::MAX { 0 } else { self.min_lat },
-            max_latency: self.max_lat,
-            p50_latency: p50,
-            p90_latency: p90,
-            p99_latency: p99,
-            p999_latency: p999,
-            hop_histogram: self.hop_hist.clone(),
-            mean_link_utilization: utils.iter().sum::<f64>() / utils.len().max(1) as f64,
-            max_link_utilization: utils.iter().cloned().fold(0.0, f64::max),
-            dropped: self.dropped,
-            rerouted: self.rerouted,
-        }
+        assemble_result(&self.ctx, &[&self.shard], &acc, self.cycle, early_saturated, 0)
     }
 
     /// Attaches a per-cycle occupancy/credit-stall sampler. Must be
@@ -1111,7 +255,7 @@ impl<'a> Simulator<'a> {
     #[cfg(feature = "obs")]
     pub fn with_observer(mut self, cfg: ObserveConfig) -> Self {
         assert_eq!(self.cycle, 0, "attach observers before running");
-        self.observer = Some(SimObserver::new(cfg, self.graph.num_links(), self.num_vcs));
+        self.observer = Some(SimObserver::new(cfg, self.ctx.graph.num_links(), self.ctx.num_vcs));
         self
     }
 
@@ -1121,33 +265,9 @@ impl<'a> Simulator<'a> {
     #[cfg(feature = "obs")]
     pub fn take_metrics(&mut self) -> Option<SimMetrics> {
         let obs = self.observer.take()?;
-        let measured = u64::from(self.cycle.saturating_sub(self.cfg.warmup_cycles)).max(1);
-        let utils = self.link_sends.iter().map(|&s| s as f64 / measured as f64).collect();
-        Some(obs.into_metrics(utils, self.lat_hist.clone()))
-    }
-
-    /// True when traffic has flowed (>= 1 ejection ever), no packet has
-    /// ejected for longer than the zero-load flight bound, and live
-    /// packets occupy the network proper — input buffers or wires —
-    /// rather than only source queues. Gates the empty-sample-window
-    /// saturation verdict: during startup (no warmup, windows shorter
-    /// than the flight time) empty windows are legitimate, not
-    /// saturation. For realistic configurations (`sample_cycles` well
-    /// above the flight bound) the verdict is unchanged.
-    fn stalled_in_network(&self) -> bool {
-        if self.ejected_total == 0 {
-            return false;
-        }
-        // Longest a packet can take across an idle network: wire plus
-        // serialization per traversal, one traversal per VC, plus one
-        // extra term of injection/ejection slack.
-        let flight = (self.cfg.channel_latency as u64 + self.cfg.packet_flits as u64)
-            * (self.num_vcs as u64 + 1);
-        if u64::from(self.cycle - self.last_ejection) <= flight {
-            return false;
-        }
-        let src_queued: usize = self.src_q.iter().map(VecDeque::len).sum();
-        self.arena.live() > src_queued
+        let measured = u64::from(self.cycle.saturating_sub(self.ctx.cfg.warmup_cycles)).max(1);
+        let utils = self.shard.link_sends.iter().map(|&s| s as f64 / measured as f64).collect();
+        Some(obs.into_metrics(utils, self.shard.lat_hist.clone()))
     }
 
     /// Attaches the runtime invariant auditor. Must be called before
@@ -1158,253 +278,27 @@ impl<'a> Simulator<'a> {
     #[cfg(feature = "audit")]
     pub fn with_auditor(mut self, cfg: AuditConfig) -> Self {
         assert_eq!(self.cycle, 0, "attach auditors before running");
-        self.auditor = Some(Auditor::new(cfg));
+        self.shard.auditor = Some(Auditor::new(cfg));
         self
-    }
-
-    /// Feeds one event to the flight recorder, if an auditor is attached.
-    #[cfg(feature = "audit")]
-    #[inline]
-    fn audit_record(&mut self, ev: AuditEvent) {
-        if let Some(a) = self.auditor.as_mut() {
-            a.record(ev);
-        }
     }
 
     /// End-of-cycle audit entry point: runs every invariant check and
     /// panics with the structured [`Violation`] on the first failure.
     #[cfg(feature = "audit")]
     fn audit_cycle(&mut self) {
-        let Some(mut a) = self.auditor.take() else { return };
-        let verdict = self.audit_invariants(&mut a);
+        let Some(mut a) = self.shard.auditor.take() else { return };
+        let verdict = audit_invariants(
+            &self.ctx,
+            &[&self.shard],
+            self.fault.as_ref().map(|f| &f.view),
+            self.cycle,
+            std::slice::from_mut(&mut a),
+        );
         a.bump_cycles_checked();
-        self.auditor = Some(a);
+        self.shard.auditor = Some(a);
         if let Err(v) = verdict {
             panic!("{v}");
         }
-    }
-
-    /// The invariant checks proper. Read-only over simulator state (the
-    /// auditor's scratch tallies are the only mutation), so auditing
-    /// cannot perturb the run.
-    #[cfg(feature = "audit")]
-    fn audit_invariants(&self, a: &mut Auditor) -> Result<(), Violation> {
-        let cycle = self.cycle;
-        // Packet conservation: every packet ever generated is ejected,
-        // dropped, or live in the arena...
-        let live = self.arena.live() as u64;
-        if self.generated_total != self.ejected_total + self.dropped + live {
-            return Err(a.violation(
-                "packet-conservation",
-                cycle,
-                format!(
-                    "generated {} != ejected {} + dropped {} + live {}",
-                    self.generated_total, self.ejected_total, self.dropped, live
-                ),
-            ));
-        }
-        // ...and every live packet sits in exactly one queue.
-        let src_queued: u64 = self.src_q.iter().map(|q| q.len() as u64).sum();
-        let buffered: u64 = self.in_buf.iter().map(|q| q.len() as u64).sum();
-        let on_wire: u64 = self.chan.iter().map(|s| s.len() as u64).sum();
-        if live != src_queued + buffered + on_wire {
-            return Err(a.violation(
-                "packet-location",
-                cycle,
-                format!(
-                    "live {live} != source-queued {src_queued} + buffered {buffered} \
-                     + on-wire {on_wire}"
-                ),
-            ));
-        }
-        // Credit conservation per live (link, vc). Dead links are
-        // exempt: fault drops retire packets without returning credits
-        // (and `fail_switch` fails every incident link, so the same
-        // test covers switch failures).
-        let nq = self.in_buf.len();
-        a.reset_scratch(nq);
-        for slot in &self.chan {
-            for &(_, qi) in slot {
-                a.chan_in_flight[qi as usize] += 1;
-            }
-        }
-        for slot in &self.cred {
-            for &qi in slot {
-                a.cred_pending[qi as usize] += 1;
-            }
-        }
-        let flits = self.cfg.packet_flits as u64;
-        for qi in 0..nq {
-            let link = (qi / self.num_vcs) as LinkId;
-            if let Some(view) = &self.fault_view {
-                if !view.link_is_live(link) {
-                    continue;
-                }
-            }
-            let occupancy = self.in_buf[qi].len() as u64
-                + a.chan_in_flight[qi] as u64
-                + a.cred_pending[qi] as u64;
-            let have = self.credits[qi] as u64 + flits * occupancy;
-            if have != self.cfg.vc_buffer as u64 {
-                let (u, v) = (self.graph.link_src(link), self.graph.link_dst(link));
-                return Err(a.violation(
-                    "credit-conservation",
-                    cycle,
-                    format!(
-                        "link {link} ({u}->{v}) vc {}: credits {} + {flits} flit(s) x \
-                         (buffered {} + on-wire {} + pending-returns {}) = {have}, \
-                         want vc_buffer {}",
-                        qi % self.num_vcs,
-                        self.credits[qi],
-                        self.in_buf[qi].len(),
-                        a.chan_in_flight[qi],
-                        a.cred_pending[qi],
-                        self.cfg.vc_buffer
-                    ),
-                ));
-            }
-        }
-        // vc_occ bitmask agrees with input-buffer emptiness.
-        for link in 0..self.vc_occ.len() {
-            for vc in 0..self.num_vcs {
-                let qi = link * self.num_vcs + vc;
-                let bit = self.vc_occ[link] & (1 << vc) != 0;
-                if bit == self.in_buf[qi].is_empty() {
-                    return Err(a.violation(
-                        "occupancy-mask",
-                        cycle,
-                        format!(
-                            "link {link} vc {vc}: vc_occ bit {bit} but buffer holds {} packet(s)",
-                            self.in_buf[qi].len()
-                        ),
-                    ));
-                }
-            }
-        }
-        // Route validity for every queued packet.
-        for (h, q) in self.src_q.iter().enumerate() {
-            for &pid in q {
-                self.audit_packet(a, pid, None, Some(h as u32))?;
-            }
-        }
-        for qi in 0..nq {
-            for &pid in &self.in_buf[qi] {
-                self.audit_packet(a, pid, Some((qi as u32, false)), None)?;
-            }
-        }
-        for slot in &self.chan {
-            for &(pid, qi) in slot {
-                self.audit_packet(a, pid, Some((qi, true)), None)?;
-            }
-        }
-        // Forward-progress watchdog: packets live, nothing moving.
-        if live > 0 && a.stalled(cycle) {
-            return Err(a.violation(
-                "forward-progress",
-                cycle,
-                format!(
-                    "no grant, ejection, or drop for {} cycles with {live} live packet(s) \
-                     — deadlock/livelock",
-                    a.stall_cycles(cycle)
-                ),
-            ));
-        }
-        Ok(())
-    }
-
-    /// Per-packet route checks: the packet sits where its hop index
-    /// claims, its remaining route follows graph edges and fits the
-    /// hop-indexed VC budget, and a packet on a wire occupies a live
-    /// link. (Edges *further along* the route may legitimately be dead:
-    /// reroute/retry handles them when the packet reaches the head.)
-    #[cfg(feature = "audit")]
-    fn audit_packet(
-        &self,
-        a: &mut Auditor,
-        pid: PacketId,
-        net: Option<(u32, bool)>,
-        src_host: Option<u32>,
-    ) -> Result<(), Violation> {
-        let pkt = self.arena.get(pid);
-        let hop = pkt.hop as usize;
-        if let Some(h) = src_host {
-            if hop != 0 {
-                return Err(a.violation(
-                    "route-validity",
-                    self.cycle,
-                    format!("pkt {pid} in source queue of host {h} has hop {hop} != 0"),
-                ));
-            }
-            if pkt.path.is_empty() {
-                return Ok(()); // routed on first observation at the head
-            }
-            let sw = self.params.switch_of_host(h as usize);
-            if pkt.path[0] != sw {
-                return Err(a.violation(
-                    "route-validity",
-                    self.cycle,
-                    format!(
-                        "pkt {pid} at host {h} (switch {sw}) routes from switch {}",
-                        pkt.path[0]
-                    ),
-                ));
-            }
-        } else {
-            let (qi, on_wire) = net.expect("network packets carry a queue index");
-            let link = (qi / self.num_vcs as u32) as LinkId;
-            let vc = qi as usize % self.num_vcs;
-            // Hop-indexed VCs: the packet's h-th traversal uses VC h-1.
-            if hop != vc + 1 {
-                return Err(a.violation(
-                    "route-validity",
-                    self.cycle,
-                    format!("pkt {pid} on link {link} vc {vc}: hop {hop} != vc + 1"),
-                ));
-            }
-            if hop >= pkt.path.len() || pkt.path[hop] != self.graph.link_dst(link) {
-                return Err(a.violation(
-                    "route-validity",
-                    self.cycle,
-                    format!(
-                        "pkt {pid} on link {link} (-> {}) but its route puts hop {hop} at {:?}",
-                        self.graph.link_dst(link),
-                        pkt.path.get(hop)
-                    ),
-                ));
-            }
-            if on_wire {
-                if let Some(view) = &self.fault_view {
-                    if !view.link_is_live(link) {
-                        return Err(a.violation(
-                            "route-validity",
-                            self.cycle,
-                            format!("pkt {pid} flying on dead link {link}"),
-                        ));
-                    }
-                }
-            }
-        }
-        let hops_total = pkt.path.len().saturating_sub(1);
-        if hops_total > self.num_vcs {
-            return Err(a.violation(
-                "route-validity",
-                self.cycle,
-                format!(
-                    "pkt {pid} route of {hops_total} hops exceeds the {} hop-indexed VCs",
-                    self.num_vcs
-                ),
-            ));
-        }
-        for w in pkt.path[hop..].windows(2) {
-            if self.graph.link_id(w[0], w[1]).is_none() {
-                return Err(a.violation(
-                    "route-validity",
-                    self.cycle,
-                    format!("pkt {pid} route uses nonexistent edge {} -> {}", w[0], w[1]),
-                ));
-            }
-        }
-        Ok(())
     }
 
     /// Test hook (`audit` feature): corrupts one credit counter so the
@@ -1412,8 +306,8 @@ impl<'a> Simulator<'a> {
     #[cfg(feature = "audit")]
     #[doc(hidden)]
     pub fn audit_corrupt_credit(&mut self, link: LinkId, vc: u16) {
-        let qi = self.qi(link, vc) as usize;
-        self.credits[qi] -= 1;
+        let qi = self.ctx.qi(link, vc) as usize;
+        self.shard.credits[qi] -= 1;
     }
 
     /// Test hook (`audit` feature): permanently blocks a host's
@@ -1421,8 +315,252 @@ impl<'a> Simulator<'a> {
     #[cfg(feature = "audit")]
     #[doc(hidden)]
     pub fn audit_block_ejection(&mut self, host: u32) {
-        self.out_free[self.graph.num_links() + host as usize] = u32::MAX;
+        self.shard.out_free[self.ctx.graph.num_links() + host as usize] = u32::MAX;
     }
+}
+
+/// The invariant checks proper, over any number of shards. Read-only
+/// over engine state (the first auditor's scratch tallies are the only
+/// mutation), so auditing cannot perturb the run.
+///
+/// Ownership map for the cross-shard identities: for link `l`, the
+/// credit counters live in the shard owning `link_src(l)` (the sender)
+/// while the input buffers and channel ring entries live in the shard
+/// owning `link_dst(l)` (the receiver); credit-return ring entries live
+/// with the sender. Conservation sums span all shards. With per-shard
+/// global-size arrays the unowned entries stay at their init values and
+/// the occupancy-mask check passes on them vacuously.
+#[cfg(feature = "audit")]
+pub(crate) fn audit_invariants(
+    ctx: &SimCtx<'_>,
+    shards: &[&Shard],
+    view: Option<&DegradedGraph<'_>>,
+    cycle: u32,
+    aud: &mut [Auditor],
+) -> Result<(), Violation> {
+    let nq = ctx.graph.num_links() * ctx.num_vcs;
+    {
+        // Mutable phase first: tally wire and pending-credit occupancy
+        // across every shard's delay lines into aud[0]'s scratch.
+        let a0 = &mut aud[0];
+        a0.reset_scratch(nq);
+        for s in shards {
+            for slot in &s.chan {
+                for &(_, qi) in slot {
+                    a0.chan_in_flight[qi as usize] += 1;
+                }
+            }
+            for slot in &s.cred {
+                for &qi in slot {
+                    a0.cred_pending[qi as usize] += 1;
+                }
+            }
+        }
+    }
+    let aud: &[Auditor] = aud;
+    // Violation builder merging every shard's flight recorder. Shard
+    // headers only appear with more than one shard, so single-shard
+    // (serial) dumps stay byte-identical to the pre-shard auditor's.
+    let viol = |invariant: &'static str, detail: String| -> Violation {
+        let mut trace = String::new();
+        for (i, a) in aud.iter().enumerate() {
+            if aud.len() > 1 {
+                trace.push_str(&format!("[shard {i}]\n"));
+            }
+            trace.push_str(&a.trace_dump());
+        }
+        Violation { invariant, cycle, detail, trace }
+    };
+    // Packet conservation: every packet ever generated is ejected,
+    // dropped, or live in some shard's arena...
+    let generated: u64 = shards.iter().map(|s| s.generated_total).sum();
+    let ejected: u64 = shards.iter().map(|s| s.ejected_total).sum();
+    let dropped: u64 = shards.iter().map(|s| s.dropped).sum();
+    let live: u64 = shards.iter().map(|s| s.arena.live() as u64).sum();
+    if generated != ejected + dropped + live {
+        return Err(viol(
+            "packet-conservation",
+            format!("generated {generated} != ejected {ejected} + dropped {dropped} + live {live}"),
+        ));
+    }
+    // ...and every live packet sits in exactly one queue.
+    let src_queued: u64 =
+        shards.iter().map(|s| s.src_q.iter().map(|q| q.len() as u64).sum::<u64>()).sum();
+    let buffered: u64 =
+        shards.iter().map(|s| s.in_buf.iter().map(|q| q.len() as u64).sum::<u64>()).sum();
+    let on_wire: u64 =
+        shards.iter().map(|s| s.chan.iter().map(|slot| slot.len() as u64).sum::<u64>()).sum();
+    if live != src_queued + buffered + on_wire {
+        return Err(viol(
+            "packet-location",
+            format!(
+                "live {live} != source-queued {src_queued} + buffered {buffered} \
+                 + on-wire {on_wire}"
+            ),
+        ));
+    }
+    // Credit conservation per live (link, vc). Dead links are exempt:
+    // fault drops retire packets without returning credits (and
+    // `fail_switch` fails every incident link, so the same test covers
+    // switch failures).
+    let flits = ctx.cfg.packet_flits as u64;
+    for qi in 0..nq {
+        let link = (qi / ctx.num_vcs) as LinkId;
+        if let Some(v) = view {
+            if !v.link_is_live(link) {
+                continue;
+            }
+        }
+        let snd = shards[ctx.part.owner[ctx.link_src[link as usize] as usize] as usize];
+        let rcv = shards[ctx.part.owner[ctx.graph.link_dst(link) as usize] as usize];
+        let occupancy = rcv.in_buf[qi].len() as u64
+            + aud[0].chan_in_flight[qi] as u64
+            + aud[0].cred_pending[qi] as u64;
+        let have = snd.credits[qi] as u64 + flits * occupancy;
+        if have != ctx.cfg.vc_buffer as u64 {
+            let (u, v) = (ctx.graph.link_src(link), ctx.graph.link_dst(link));
+            return Err(viol(
+                "credit-conservation",
+                format!(
+                    "link {link} ({u}->{v}) vc {}: credits {} + {flits} flit(s) x \
+                     (buffered {} + on-wire {} + pending-returns {}) = {have}, \
+                     want vc_buffer {}",
+                    qi % ctx.num_vcs,
+                    snd.credits[qi],
+                    rcv.in_buf[qi].len(),
+                    aud[0].chan_in_flight[qi],
+                    aud[0].cred_pending[qi],
+                    ctx.cfg.vc_buffer
+                ),
+            ));
+        }
+    }
+    // vc_occ bitmask agrees with input-buffer emptiness (per shard;
+    // unowned entries are empty with the bit clear and pass trivially).
+    for s in shards {
+        for link in 0..s.vc_occ.len() {
+            for vc in 0..ctx.num_vcs {
+                let qi = link * ctx.num_vcs + vc;
+                let bit = s.vc_occ[link] & (1 << vc) != 0;
+                if bit == s.in_buf[qi].is_empty() {
+                    return Err(viol(
+                        "occupancy-mask",
+                        format!(
+                            "link {link} vc {vc}: vc_occ bit {bit} but buffer holds {} packet(s)",
+                            s.in_buf[qi].len()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    // Route validity for every queued packet.
+    for s in shards {
+        for (h, q) in s.src_q.iter().enumerate() {
+            for &pid in q {
+                audit_packet(ctx, s, view, pid, None, Some(h as u32))
+                    .map_err(|(inv, d)| viol(inv, d))?;
+            }
+        }
+        for qi in 0..nq {
+            for &pid in &s.in_buf[qi] {
+                audit_packet(ctx, s, view, pid, Some((qi as u32, false)), None)
+                    .map_err(|(inv, d)| viol(inv, d))?;
+            }
+        }
+        for slot in &s.chan {
+            for &(pid, qi) in slot {
+                audit_packet(ctx, s, view, pid, Some((qi, true)), None)
+                    .map_err(|(inv, d)| viol(inv, d))?;
+            }
+        }
+    }
+    // Forward-progress watchdog: packets live, nothing moving anywhere.
+    if live > 0 {
+        let last = aud.iter().map(|a| a.last_progress()).max().unwrap_or(0);
+        let stall = cycle.saturating_sub(last);
+        if stall >= aud[0].config().watchdog_cycles {
+            return Err(viol(
+                "forward-progress",
+                format!(
+                    "no grant, ejection, or drop for {stall} cycles with {live} live packet(s) \
+                     — deadlock/livelock"
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Per-packet route checks: the packet sits where its hop index claims,
+/// its remaining route follows graph edges and fits the hop-indexed VC
+/// budget, and a packet on a wire occupies a live link. (Edges *further
+/// along* the route may legitimately be dead: reroute/retry handles
+/// them when the packet reaches the head.) Returns the invariant name
+/// and detail on failure; the caller attaches cycle and trace.
+#[cfg(feature = "audit")]
+fn audit_packet(
+    ctx: &SimCtx<'_>,
+    s: &Shard,
+    view: Option<&DegradedGraph<'_>>,
+    pid: PacketId,
+    net: Option<(u32, bool)>,
+    src_host: Option<u32>,
+) -> Result<(), (&'static str, String)> {
+    let e = |d: String| ("route-validity", d);
+    let pidx = pid as usize;
+    let path = &s.arena.path[pidx];
+    let hop = s.arena.hop[pidx] as usize;
+    if let Some(h) = src_host {
+        if hop != 0 {
+            return Err(e(format!("pkt {pid} in source queue of host {h} has hop {hop} != 0")));
+        }
+        if path.is_empty() {
+            return Ok(()); // routed on first observation at the head
+        }
+        let sw = ctx.params.switch_of_host(h as usize);
+        if path[0] != sw {
+            return Err(e(format!(
+                "pkt {pid} at host {h} (switch {sw}) routes from switch {}",
+                path[0]
+            )));
+        }
+    } else {
+        let (qi, on_wire) = net.expect("network packets carry a queue index");
+        let link = (qi / ctx.num_vcs as u32) as LinkId;
+        let vc = qi as usize % ctx.num_vcs;
+        // Hop-indexed VCs: the packet's h-th traversal uses VC h-1.
+        if hop != vc + 1 {
+            return Err(e(format!("pkt {pid} on link {link} vc {vc}: hop {hop} != vc + 1")));
+        }
+        if hop >= path.len() || path[hop] != ctx.graph.link_dst(link) {
+            return Err(e(format!(
+                "pkt {pid} on link {link} (-> {}) but its route puts hop {hop} at {:?}",
+                ctx.graph.link_dst(link),
+                path.get(hop)
+            )));
+        }
+        if on_wire {
+            if let Some(v) = view {
+                if !v.link_is_live(link) {
+                    return Err(e(format!("pkt {pid} flying on dead link {link}")));
+                }
+            }
+        }
+    }
+    let hops_total = path.len().saturating_sub(1);
+    if hops_total > ctx.num_vcs {
+        return Err(e(format!(
+            "pkt {pid} route of {hops_total} hops exceeds the {} hop-indexed VCs",
+            ctx.num_vcs
+        )));
+    }
+    for w in path[hop..].windows(2) {
+        if ctx.graph.link_id(w[0], w[1]).is_none() {
+            return Err(e(format!("pkt {pid} route uses nonexistent edge {} -> {}", w[0], w[1])));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1431,6 +569,8 @@ mod tests {
     use crate::test_util;
     use jellyfish_routing::{PairSet, PathSelection};
     use jellyfish_traffic::{random_permutation, switch_pairs, PacketDestinations};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use std::sync::Arc;
 
     fn setup() -> (Arc<Graph>, RrgParams) {
@@ -1584,6 +724,49 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn router_visit_order_does_not_change_results() {
+        // The contract that makes sharding legal: all randomness comes
+        // from per-entity streams and every cross-router effect lands
+        // via the delay lines a cycle later, so the order routers are
+        // visited within a cycle is unobservable. Reversing it must
+        // reproduce every byte, with and without a mid-run fault plan.
+        let (g, p) = setup();
+        let t = table(p, PathSelection::REdKsp(4));
+        let run = |reverse: bool| {
+            let mut sim = Simulator::new(
+                &g,
+                p,
+                &t,
+                None,
+                Mechanism::KspAdaptive,
+                uniform(&p),
+                0.3,
+                SimConfig::paper(),
+            );
+            if reverse {
+                sim.debug_reverse_router_order();
+            }
+            sim.run()
+        };
+        assert_eq!(run(false), run(true));
+
+        let plan = FaultPlan::random_links(&g, 0.2, 100, 7);
+        let mut cfg = SimConfig::paper();
+        cfg.warmup_cycles = 0;
+        cfg.num_samples = 20;
+        let run_fault = |reverse: bool| {
+            let mut sim =
+                Simulator::new(&g, p, &t, None, Mechanism::Random, uniform(&p), 0.05, cfg)
+                    .with_fault_plan(&plan);
+            if reverse {
+                sim.debug_reverse_router_order();
+            }
+            sim.run()
+        };
+        assert_eq!(run_fault(false), run_fault(true));
     }
 
     #[test]
@@ -1918,6 +1101,7 @@ mod tests {
         );
         (g, p, t)
     }
+    use jellyfish_topology::NodeId;
 
     #[test]
     fn ugal_selects_minimal_path_by_length_not_table_index() {

@@ -216,41 +216,49 @@ pub fn read_result<R: BufRead>(input: R) -> Result<RunResult, ResultReadError> {
 }
 
 /// Accumulates per-window latency/throughput samples.
+///
+/// Sums are kept as exact `u64` integers (cycle latencies are integers
+/// and the totals stay far below 2^53), so accumulation is associative:
+/// per-shard partial sums merged in any order produce the same window
+/// means as a single serial pass. This is what lets the sharded engine
+/// ([`crate::ParallelSimulator`]) reproduce the serial oracle's
+/// `RunResult` byte-for-byte at any thread count.
 #[derive(Debug, Clone, Default)]
 pub struct SampleAccumulator {
-    window_lat_sum: f64,
+    window_lat_sum: u64,
     window_count: u64,
-    /// Per finished window: (mean latency, ejected count).
-    windows: Vec<(f64, u64)>,
-    total_lat_sum: f64,
-    total_count: u64,
+    /// Per finished window: (latency sum, ejected count).
+    windows: Vec<(u64, u64)>,
 }
 
 impl SampleAccumulator {
     /// Records an ejected packet's latency.
     #[inline]
     pub fn record(&mut self, latency: u64) {
-        self.window_lat_sum += latency as f64;
+        self.window_lat_sum += latency;
         self.window_count += 1;
-        self.total_lat_sum += latency as f64;
-        self.total_count += 1;
     }
 
     /// Closes the current window.
     pub fn end_window(&mut self) {
-        let mean = if self.window_count == 0 {
-            f64::NAN
-        } else {
-            self.window_lat_sum / self.window_count as f64
-        };
-        self.windows.push((mean, self.window_count));
-        self.window_lat_sum = 0.0;
+        self.windows.push((self.window_lat_sum, self.window_count));
+        self.window_lat_sum = 0;
         self.window_count = 0;
     }
 
-    /// Per-window mean latencies.
+    /// Appends an already-summed window (the sharded engine merges the
+    /// per-shard `(sum, count)` partials and closes windows centrally).
+    pub fn push_window(&mut self, lat_sum: u64, count: u64) {
+        debug_assert!(!self.has_open_records(), "push_window with open records");
+        self.windows.push((lat_sum, count));
+    }
+
+    /// Per-window mean latencies (`NaN` for an empty window).
     pub fn window_means(&self) -> Vec<f64> {
-        self.windows.iter().map(|&(m, _)| m).collect()
+        self.windows
+            .iter()
+            .map(|&(s, c)| if c == 0 { f64::NAN } else { s as f64 / c as f64 })
+            .collect()
     }
 
     /// Total ejected packets across closed windows. The simulator closes
@@ -265,12 +273,16 @@ impl SampleAccumulator {
         self.window_count > 0
     }
 
-    /// Mean latency across all recorded packets (closed or not).
+    /// Mean latency across all closed windows. The drivers close every
+    /// trailing partial window before reading, so this covers all
+    /// recorded packets.
     pub fn overall_mean(&self) -> f64 {
-        if self.total_count == 0 {
+        let (sum, count) =
+            self.windows.iter().fold((0u64, 0u64), |(s, c), &(ws, wc)| (s + ws, c + wc));
+        if count == 0 {
             f64::NAN
         } else {
-            self.total_lat_sum / self.total_count as f64
+            sum as f64 / count as f64
         }
     }
 }
@@ -290,6 +302,26 @@ mod tests {
         assert_eq!(acc.window_means(), vec![15.0, 40.0]);
         assert_eq!(acc.total_ejected(), 3);
         assert!((acc.overall_mean() - 70.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pushed_windows_equal_recorded_windows() {
+        // The sharded engine merges per-shard (sum, count) partials and
+        // pushes the merged window; that must be indistinguishable from
+        // recording each latency serially.
+        let mut serial = SampleAccumulator::default();
+        for lat in [10, 20, 40, 7] {
+            serial.record(lat);
+        }
+        serial.end_window();
+        serial.end_window(); // empty window
+        let mut merged = SampleAccumulator::default();
+        merged.push_window((10 + 20) + (40 + 7), 2 + 2); // shard partials, any split
+        merged.push_window(0, 0);
+        assert_eq!(serial.total_ejected(), merged.total_ejected());
+        assert_eq!(serial.window_means()[0], merged.window_means()[0]);
+        assert!(merged.window_means()[1].is_nan());
+        assert_eq!(serial.overall_mean(), merged.overall_mean());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::config::SimConfig;
 use crate::mechanism::Mechanism;
+use crate::parallel::{effective_threads, ParallelSimulator};
 use crate::sim::Simulator;
 use crate::stats::RunResult;
 use jellyfish_routing::PathTable;
@@ -43,23 +44,45 @@ pub struct LoadPoint {
     pub result: RunResult,
 }
 
-/// Runs the simulator once at `rate`.
+/// Runs the simulator once at `rate`. Honors `cfg.sim.threads` (and the
+/// `FLITSIM_THREADS` override): thread counts above one route through
+/// the sharded [`ParallelSimulator`], whose results are byte-identical
+/// to the serial engine's.
 pub fn run_at(cfg: &SweepConfig<'_>, pattern: &PacketDestinations, rate: f64) -> RunResult {
     let _span = jellyfish_obs::span("flitsim.run");
-    let mut sim = Simulator::new(
-        cfg.graph,
-        cfg.params,
-        cfg.table,
-        cfg.sp_table,
-        cfg.mechanism,
-        pattern.clone(),
-        rate,
-        cfg.sim,
-    );
-    if let Some(plan) = cfg.faults {
-        sim = sim.with_fault_plan(plan);
-    }
-    let result = sim.run();
+    let threads = effective_threads(cfg.sim.threads);
+    let result = if threads > 1 {
+        let mut sim = ParallelSimulator::new(
+            cfg.graph,
+            cfg.params,
+            cfg.table,
+            cfg.sp_table,
+            cfg.mechanism,
+            pattern.clone(),
+            rate,
+            cfg.sim,
+            threads,
+        );
+        if let Some(plan) = cfg.faults {
+            sim = sim.with_fault_plan(plan);
+        }
+        sim.run()
+    } else {
+        let mut sim = Simulator::new(
+            cfg.graph,
+            cfg.params,
+            cfg.table,
+            cfg.sp_table,
+            cfg.mechanism,
+            pattern.clone(),
+            rate,
+            cfg.sim,
+        );
+        if let Some(plan) = cfg.faults {
+            sim = sim.with_fault_plan(plan);
+        }
+        sim.run()
+    };
     jellyfish_obs::global().counter_add("flitsim.cycles.measured", result.measured_cycles);
     result
 }

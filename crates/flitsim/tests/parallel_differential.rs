@@ -1,0 +1,390 @@
+//! Serial ≡ parallel differential suite.
+//!
+//! The serial [`Simulator`] is the oracle: for a fixed seed the sharded
+//! [`ParallelSimulator`] must produce a byte-identical `RunResult` — the
+//! full v2 serialization, percentile block included — at every thread
+//! count, for every path-selection scheme, with and without fault plans,
+//! and regardless of shard-count-vs-router-count edge cases. Comparison
+//! is over serialized bytes, not `PartialEq`, so NaN fields (idle runs)
+//! and float formatting are covered too.
+
+use jellyfish_flitsim::test_util;
+use jellyfish_flitsim::{
+    write_result, Mechanism, ParallelSimulator, RunResult, SimConfig, Simulator,
+};
+use jellyfish_routing::{PathSelection, PathTable};
+use jellyfish_topology::{FaultPlan, Graph, RrgParams};
+use jellyfish_traffic::PacketDestinations;
+use std::sync::Arc;
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+fn setup() -> (Arc<Graph>, RrgParams) {
+    let p = RrgParams::new(12, 6, 4);
+    (test_util::graph(p, 21), p)
+}
+
+fn uniform(p: &RrgParams) -> PacketDestinations {
+    PacketDestinations::Uniform { num_hosts: p.num_hosts() }
+}
+
+fn bytes(r: &RunResult) -> Vec<u8> {
+    let mut v = Vec::new();
+    write_result(r, &mut v).expect("serialize RunResult");
+    v
+}
+
+struct Case<'a> {
+    graph: &'a Graph,
+    params: RrgParams,
+    table: &'a PathTable,
+    sp_table: Option<&'a PathTable>,
+    mechanism: Mechanism,
+    rate: f64,
+    cfg: SimConfig,
+    faults: Option<&'a FaultPlan>,
+}
+
+impl Case<'_> {
+    fn serial(&self) -> RunResult {
+        let mut sim = Simulator::new(
+            self.graph,
+            self.params,
+            self.table,
+            self.sp_table,
+            self.mechanism,
+            uniform(&self.params),
+            self.rate,
+            self.cfg,
+        );
+        if let Some(plan) = self.faults {
+            sim = sim.with_fault_plan(plan);
+        }
+        sim.run()
+    }
+
+    fn parallel(&self, threads: usize) -> RunResult {
+        let mut sim = ParallelSimulator::new(
+            self.graph,
+            self.params,
+            self.table,
+            self.sp_table,
+            self.mechanism,
+            uniform(&self.params),
+            self.rate,
+            self.cfg,
+            threads,
+        );
+        if let Some(plan) = self.faults {
+            sim = sim.with_fault_plan(plan);
+        }
+        sim.run()
+    }
+
+    /// Asserts byte-identity at every thread count in `THREADS`.
+    fn assert_identical(&self, label: &str) {
+        let oracle = bytes(&self.serial());
+        for t in THREADS {
+            let got = bytes(&self.parallel(t));
+            assert_eq!(got, oracle, "{label}: parallel({t} threads) diverged from serial");
+        }
+    }
+}
+
+#[test]
+fn byte_identical_across_threads_and_schemes() {
+    let (g, p) = setup();
+    for (name, sel) in [
+        ("KSP", PathSelection::Ksp(4)),
+        ("rKSP", PathSelection::RKsp(4)),
+        ("EDKSP", PathSelection::EdKsp(4)),
+        ("rEDKSP", PathSelection::REdKsp(4)),
+    ] {
+        let t = test_util::all_pairs_table(p, 21, sel, 0);
+        Case {
+            graph: &g,
+            params: p,
+            table: &t,
+            sp_table: None,
+            mechanism: Mechanism::KspAdaptive,
+            rate: 0.2,
+            cfg: SimConfig::paper(),
+            faults: None,
+        }
+        .assert_identical(name);
+    }
+}
+
+#[test]
+fn byte_identical_across_mechanisms() {
+    // Every mechanism draws from the per-host RNG streams differently;
+    // each must agree with the oracle. Vanilla UGAL also exercises the
+    // sp-table path.
+    let (g, p) = setup();
+    let t = test_util::all_pairs_table(p, 21, PathSelection::REdKsp(4), 0);
+    let sp = test_util::all_pairs_table(p, 21, PathSelection::SinglePath, 0);
+    for mech in [
+        Mechanism::SinglePath,
+        Mechanism::Random,
+        Mechanism::RoundRobin,
+        Mechanism::VanillaUgal,
+        Mechanism::KspUgal,
+        Mechanism::KspAdaptive,
+    ] {
+        Case {
+            graph: &g,
+            params: p,
+            table: &t,
+            sp_table: Some(&sp),
+            mechanism: mech,
+            rate: 0.15,
+            cfg: SimConfig::paper(),
+            faults: None,
+        }
+        .assert_identical(mech.name());
+    }
+}
+
+#[test]
+fn byte_identical_with_midrun_fault_plan() {
+    // The PR 4 fault regression shape: a 20% cut at cycle 100, no
+    // warmup, a long low-load tail — reroutes, drops, degraded-table
+    // rebuilds, and the dead-link audit exemptions all in play.
+    let (g, p) = setup();
+    let t = test_util::all_pairs_table(p, 21, PathSelection::RKsp(4), 0);
+    let plan = FaultPlan::random_links(&g, 0.2, 100, 7);
+    assert!(!plan.is_empty());
+    let mut cfg = SimConfig::paper();
+    cfg.warmup_cycles = 0;
+    cfg.num_samples = 20;
+    let case = Case {
+        graph: &g,
+        params: p,
+        table: &t,
+        sp_table: None,
+        mechanism: Mechanism::Random,
+        rate: 0.05,
+        cfg,
+        faults: Some(&plan),
+    };
+    // The run must observably interact with the cut, or the test is
+    // vacuous.
+    let r = case.serial();
+    assert!(r.rerouted + r.dropped > 0, "{r:?}");
+    case.assert_identical("mid-run fault plan");
+}
+
+#[test]
+fn byte_identical_with_switch_failure() {
+    let (g, p) = setup();
+    let t = test_util::all_pairs_table(p, 21, PathSelection::RKsp(4), 0);
+    let mut plan = FaultPlan::new();
+    plan.add_switch_failure(0, 3);
+    let mut cfg = SimConfig::paper();
+    cfg.warmup_cycles = 0;
+    let case = Case {
+        graph: &g,
+        params: p,
+        table: &t,
+        sp_table: None,
+        mechanism: Mechanism::Random,
+        rate: 0.1,
+        cfg,
+        faults: Some(&plan),
+    };
+    case.assert_identical("switch failure");
+}
+
+#[test]
+fn byte_identical_without_warmup_and_tiny_windows() {
+    // The PR 4 warmup_cycles = 0 regression shape: windows shorter than
+    // the zero-load flight time close empty; the (serial and parallel)
+    // stalled-in-network guard must agree byte-for-byte — the parallel
+    // engine additionally counts packets parked in cross-shard
+    // mailboxes as live.
+    let (g, p) = setup();
+    let t = test_util::all_pairs_table(p, 21, PathSelection::REdKsp(4), 0);
+    let mut cfg = SimConfig::paper();
+    cfg.warmup_cycles = 0;
+    cfg.sample_cycles = 4;
+    cfg.num_samples = 500;
+    Case {
+        graph: &g,
+        params: p,
+        table: &t,
+        sp_table: None,
+        mechanism: Mechanism::Random,
+        rate: 0.2,
+        cfg,
+        faults: None,
+    }
+    .assert_identical("warmup=0, tiny windows");
+}
+
+#[test]
+fn byte_identical_at_saturation() {
+    // Saturated runs exercise early exit, source-queue overflow, and the
+    // partial trailing window.
+    let (g, p) = setup();
+    let t = test_util::all_pairs_table(p, 21, PathSelection::SinglePath, 0);
+    let case = Case {
+        graph: &g,
+        params: p,
+        table: &t,
+        sp_table: None,
+        mechanism: Mechanism::SinglePath,
+        rate: 1.0,
+        cfg: SimConfig::paper(),
+        faults: None,
+    };
+    assert!(case.serial().saturated);
+    case.assert_identical("saturated single-path");
+}
+
+#[test]
+fn byte_identical_with_multiflit_packets() {
+    let (g, p) = setup();
+    let t = test_util::all_pairs_table(p, 21, PathSelection::REdKsp(4), 0);
+    let mut cfg = SimConfig::paper();
+    cfg.packet_flits = 3;
+    Case {
+        graph: &g,
+        params: p,
+        table: &t,
+        sp_table: None,
+        mechanism: Mechanism::KspAdaptive,
+        rate: 0.05,
+        cfg,
+        faults: None,
+    }
+    .assert_identical("3-flit packets");
+}
+
+#[test]
+fn thread_count_clamps_to_router_count() {
+    // More threads than routers: the partition clamps, the result does
+    // not change.
+    let (g, p) = setup();
+    let t = test_util::all_pairs_table(p, 21, PathSelection::Ksp(4), 0);
+    let case = Case {
+        graph: &g,
+        params: p,
+        table: &t,
+        sp_table: None,
+        mechanism: Mechanism::Random,
+        rate: 0.1,
+        cfg: SimConfig::paper(),
+        faults: None,
+    };
+    let sim = ParallelSimulator::new(
+        &g,
+        p,
+        &t,
+        None,
+        Mechanism::Random,
+        uniform(&p),
+        0.1,
+        SimConfig::paper(),
+        64,
+    );
+    assert_eq!(sim.shards(), 12);
+    assert_eq!(bytes(&case.parallel(64)), bytes(&case.serial()));
+}
+
+#[test]
+#[should_panic(expected = "thread count must be at least 1")]
+fn zero_threads_is_rejected() {
+    let (g, p) = setup();
+    let t = test_util::all_pairs_table(p, 21, PathSelection::Ksp(4), 0);
+    let _ = ParallelSimulator::new(
+        &g,
+        p,
+        &t,
+        None,
+        Mechanism::Random,
+        uniform(&p),
+        0.1,
+        SimConfig::paper(),
+        0,
+    );
+}
+
+#[cfg(feature = "audit")]
+mod audited {
+    use super::*;
+    use jellyfish_flitsim::AuditConfig;
+
+    #[test]
+    fn audited_parallel_run_is_byte_identical_and_clean() {
+        // The per-cycle invariant auditor checks the merged books of all
+        // shards (conservation across mailboxes included) and must not
+        // perturb the result.
+        let (g, p) = setup();
+        let t = test_util::all_pairs_table(p, 21, PathSelection::REdKsp(4), 0);
+        let case = Case {
+            graph: &g,
+            params: p,
+            table: &t,
+            sp_table: None,
+            mechanism: Mechanism::KspUgal,
+            rate: 0.3,
+            cfg: SimConfig::paper(),
+            faults: None,
+        };
+        let oracle = bytes(&case.serial());
+        for threads in [2, 3, 8] {
+            let mut sim = ParallelSimulator::new(
+                &g,
+                p,
+                &t,
+                None,
+                Mechanism::KspUgal,
+                uniform(&p),
+                0.3,
+                SimConfig::paper(),
+                threads,
+            )
+            .with_auditor(AuditConfig::default());
+            assert_eq!(bytes(&sim.run()), oracle, "audited parallel({threads}) diverged");
+        }
+    }
+
+    #[test]
+    fn audited_parallel_fault_run_is_byte_identical_and_clean() {
+        let (g, p) = setup();
+        let t = test_util::all_pairs_table(p, 21, PathSelection::RKsp(4), 0);
+        let plan = FaultPlan::random_links(&g, 0.2, 100, 7);
+        let mut cfg = SimConfig::paper();
+        cfg.warmup_cycles = 0;
+        cfg.num_samples = 20;
+        let case = Case {
+            graph: &g,
+            params: p,
+            table: &t,
+            sp_table: None,
+            mechanism: Mechanism::Random,
+            rate: 0.05,
+            cfg,
+            faults: Some(&plan),
+        };
+        let oracle = case.serial();
+        assert!(oracle.rerouted + oracle.dropped > 0, "{oracle:?}");
+        let oracle = bytes(&oracle);
+        for threads in [3, 8] {
+            let mut sim = ParallelSimulator::new(
+                &g,
+                p,
+                &t,
+                None,
+                Mechanism::Random,
+                uniform(&p),
+                0.05,
+                cfg,
+                threads,
+            )
+            .with_fault_plan(&plan)
+            .with_auditor(AuditConfig::default());
+            assert_eq!(bytes(&sim.run()), oracle, "audited fault parallel({threads}) diverged");
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! any violation fails the case with a flight-recorder diagnostic.
 
 use jellyfish_flitsim::test_util;
-use jellyfish_flitsim::{Mechanism, SimConfig, Simulator};
+use jellyfish_flitsim::{Mechanism, ParallelSimulator, SimConfig, Simulator};
 use jellyfish_routing::PathSelection;
 use jellyfish_topology::{FaultPlan, RrgParams};
 use jellyfish_traffic::PacketDestinations;
@@ -27,6 +27,15 @@ fn mechanisms() -> impl Strategy<Value = Mechanism> {
 /// Attaches the invariant auditor when the `audit` feature is on, so
 /// the whole suite doubles as a per-cycle conservation check.
 fn audited(sim: Simulator<'_>) -> Simulator<'_> {
+    #[cfg(feature = "audit")]
+    let sim = sim.with_auditor(jellyfish_flitsim::AuditConfig::default());
+    sim
+}
+
+/// Same, for the sharded driver: under `audit` every generated parallel
+/// run is additionally checked cycle-by-cycle against the merged
+/// cross-shard books (conservation over mailboxes included).
+fn audited_par(sim: ParallelSimulator<'_>) -> ParallelSimulator<'_> {
     #[cfg(feature = "audit")]
     let sim = sim.with_auditor(jellyfish_flitsim::AuditConfig::default());
     sim
@@ -125,5 +134,57 @@ proptest! {
         prop_assert_eq!(r.hop_histogram.iter().sum::<u64>(), r.ejected);
         prop_assert!(r.accepted <= 1.0 + 1e-9);
         prop_assert!(r.max_link_utilization <= 1.0 + 1e-9);
+    }
+
+    /// The sharded engine against the serial oracle on random small
+    /// fabrics, loads, seeds, thread counts, and (half the time) mid-run
+    /// fault plans: the full `RunResult` must match — asserted field by
+    /// field for the fault/termination counters the differential suite
+    /// calls out, then wholesale.
+    #[test]
+    fn parallel_engine_matches_serial_on_random_configs(
+        seed in any::<u64>(),
+        rate in 0.01f64..0.3,
+        mech in mechanisms(),
+        threads in 2usize..9,
+        half_switches in 3usize..7,
+        with_fault in any::<bool>(),
+        fault in (any::<u64>(), 0.02f64..0.2, 0u64..300),
+    ) {
+        // N * degree must be even for the RRG construction.
+        let params = RrgParams::new(2 * half_switches, 5, 3);
+        let g = test_util::graph(params, seed % 16);
+        let table = test_util::all_pairs_table(params, seed % 16, PathSelection::RKsp(3), seed);
+        let (fseed, fraction, at) = fault;
+        let plan = with_fault.then(|| FaultPlan::random_links(&g, fraction, at, fseed));
+        let mut cfg = SimConfig::paper();
+        cfg.warmup_cycles = 0; // faults and drops land inside the measured span
+        cfg.num_samples = 3;
+        cfg.seed = seed;
+        let pattern = PacketDestinations::Uniform { num_hosts: params.num_hosts() };
+        let mut serial =
+            Simulator::new(&g, params, &table, None, mech, pattern.clone(), rate, cfg);
+        if let Some(p) = &plan {
+            serial = serial.with_fault_plan(p);
+        }
+        let want = audited(serial).run();
+        let mut par = ParallelSimulator::new(
+            &g, params, &table, None, mech, pattern, rate, cfg, threads,
+        );
+        if let Some(p) = &plan {
+            par = par.with_fault_plan(p);
+        }
+        let got = audited_par(par).run();
+        prop_assert_eq!(got.dropped, want.dropped, "dropped diverged");
+        prop_assert_eq!(got.rerouted, want.rerouted, "rerouted diverged");
+        prop_assert_eq!(got.measured_cycles, want.measured_cycles, "measured_cycles diverged");
+        prop_assert_eq!(got.generated, want.generated, "generated diverged");
+        prop_assert_eq!(got.ejected, want.ejected, "ejected diverged");
+        // NaN-safe whole-result comparison via the serialized bytes.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        jellyfish_flitsim::write_result(&want, &mut a).expect("serialize");
+        jellyfish_flitsim::write_result(&got, &mut b).expect("serialize");
+        prop_assert_eq!(a, b, "full RunResult diverged");
     }
 }

@@ -1,0 +1,146 @@
+//! Whole-stack differential tests for the sharded engine through the
+//! public API: the serial [`Simulator`] is the oracle, and the parallel
+//! engine — reached directly, through `SimConfig::threads`, and through
+//! the `FLITSIM_THREADS` environment override — must reproduce its
+//! `RunResult` byte for byte.
+//!
+//! With `--features audit`, every run below additionally executes under
+//! the per-cycle invariant auditor.
+
+use jellyfish::prelude::*;
+use jellyfish::JellyfishNetwork;
+use jellyfish_flitsim::{ParallelSimulator, RunResult, Simulator};
+use jellyfish_routing::PairSet;
+
+fn network() -> JellyfishNetwork {
+    jellyfish_repro::audit_simulations();
+    JellyfishNetwork::build(RrgParams::new(16, 10, 6), 42).unwrap()
+}
+
+fn bytes(r: &RunResult) -> Vec<u8> {
+    let mut v = Vec::new();
+    jellyfish_flitsim::write_result(r, &mut v).expect("serialize RunResult");
+    v
+}
+
+#[test]
+fn parallel_simulator_matches_serial_through_public_api() {
+    let net = network();
+    let table = net.paths(PathSelection::REdKsp(6), &PairSet::AllPairs, 1);
+    let pattern = PacketDestinations::Uniform { num_hosts: net.params().num_hosts() };
+    let cfg = SimConfig::paper();
+    let mut serial = Simulator::new(
+        net.graph(),
+        *net.params(),
+        &table,
+        None,
+        Mechanism::KspAdaptive,
+        pattern.clone(),
+        0.2,
+        cfg,
+    );
+    let oracle = bytes(&serial.run());
+    for threads in [2usize, 5] {
+        let mut par = ParallelSimulator::new(
+            net.graph(),
+            *net.params(),
+            &table,
+            None,
+            Mechanism::KspAdaptive,
+            pattern.clone(),
+            0.2,
+            cfg,
+            threads,
+        );
+        assert_eq!(bytes(&par.run()), oracle, "parallel({threads}) diverged from serial");
+    }
+}
+
+#[test]
+fn run_at_honors_config_thread_count() {
+    // The sweep entry point every experiment goes through: a config
+    // asking for 3 worker threads must give the same bytes as the
+    // serial default.
+    let net = network();
+    let table = net.paths(PathSelection::RKsp(4), &PairSet::AllPairs, 1);
+    let pattern = PacketDestinations::Uniform { num_hosts: net.params().num_hosts() };
+    let mut cfg = jellyfish_flitsim::SweepConfig {
+        graph: net.graph(),
+        params: *net.params(),
+        table: &table,
+        sp_table: None,
+        mechanism: Mechanism::Random,
+        faults: None,
+        sim: SimConfig::paper(),
+    };
+    let serial = bytes(&jellyfish_flitsim::run_at(&cfg, &pattern, 0.15));
+    cfg.sim.threads = 3;
+    let threaded = bytes(&jellyfish_flitsim::run_at(&cfg, &pattern, 0.15));
+    assert_eq!(threaded, serial, "SimConfig::threads changed the result bytes");
+}
+
+#[test]
+fn flitsim_threads_env_override_is_byte_invariant() {
+    // Mirrors the routing layer's RAYON_NUM_THREADS contract: forcing
+    // the whole process onto the sharded engine via the environment
+    // must not change a single result byte.
+    let net = network();
+    let table = net.paths(PathSelection::RKsp(4), &PairSet::AllPairs, 1);
+    let pattern = PacketDestinations::Uniform { num_hosts: net.params().num_hosts() };
+    let cfg = jellyfish_flitsim::SweepConfig {
+        graph: net.graph(),
+        params: *net.params(),
+        table: &table,
+        sp_table: None,
+        mechanism: Mechanism::KspUgal,
+        faults: None,
+        sim: SimConfig::paper(),
+    };
+    std::env::set_var("FLITSIM_THREADS", "1");
+    let serial = bytes(&jellyfish_flitsim::run_at(&cfg, &pattern, 0.2));
+    std::env::set_var("FLITSIM_THREADS", "4");
+    let threaded = bytes(&jellyfish_flitsim::run_at(&cfg, &pattern, 0.2));
+    std::env::remove_var("FLITSIM_THREADS");
+    assert_eq!(threaded, serial, "FLITSIM_THREADS changed the result bytes");
+}
+
+#[test]
+fn parallel_fault_runs_match_serial_through_public_api() {
+    let net = network();
+    let table = net.paths(PathSelection::RKsp(4), &PairSet::AllPairs, 1);
+    let pattern = PacketDestinations::Uniform { num_hosts: net.params().num_hosts() };
+    let plan = jellyfish_topology::FaultPlan::random_links(net.graph(), 0.15, 120, 11);
+    assert!(!plan.is_empty());
+    let mut cfg = SimConfig::paper();
+    cfg.warmup_cycles = 0;
+    cfg.num_samples = 16;
+    let mut serial = Simulator::new(
+        net.graph(),
+        *net.params(),
+        &table,
+        None,
+        Mechanism::Random,
+        pattern.clone(),
+        0.05,
+        cfg,
+    )
+    .with_fault_plan(&plan);
+    let want = serial.run();
+    assert!(want.rerouted + want.dropped > 0, "fault plan had no observable effect: {want:?}");
+    let oracle = bytes(&want);
+    for threads in [2usize, 8] {
+        let mut par = ParallelSimulator::new(
+            net.graph(),
+            *net.params(),
+            &table,
+            None,
+            Mechanism::Random,
+            pattern.clone(),
+            0.05,
+            cfg,
+            threads,
+        )
+        .with_fault_plan(&plan);
+        assert_eq!(bytes(&par.run()), oracle, "fault parallel({threads}) diverged from serial");
+    }
+}
