@@ -133,6 +133,8 @@ struct Sim<'a> {
     /// when it reaches zero.
     outstanding: Vec<u64>,
     rank_finish: Vec<Ps>,
+    /// Scratch for decoding one path out of the compact table encoding.
+    route_buf: Vec<NodeId>,
 }
 
 impl<'a> Sim<'a> {
@@ -151,18 +153,19 @@ impl<'a> Sim<'a> {
         self.graph.num_links() as u32 + host
     }
 
-    fn path_of(&self, p: &Packet) -> &[NodeId] {
-        self.table.get(p.src_sw, p.dst_sw).expect("pair in table").path(p.path_idx as usize)
-    }
-
     /// Buffer the packet must enter next, given it is about to leave its
     /// current position (NIC or head of a link VC queue).
-    fn next_qid(&self, pkt: u32) -> usize {
-        let p = &self.packets[pkt as usize];
+    fn next_qid(&mut self, pkt: u32) -> usize {
+        let p = self.packets[pkt as usize];
         if p.src_sw == p.dst_sw {
             return self.eject_qid(p.dst_host);
         }
-        let path = self.path_of(p);
+        let table = self.table;
+        table
+            .get(p.src_sw, p.dst_sw)
+            .expect("pair in table")
+            .path_into(p.path_idx as usize, &mut self.route_buf);
+        let path = &self.route_buf;
         if p.hop as usize == path.len() - 1 {
             self.eject_qid(p.dst_host)
         } else {
@@ -452,6 +455,7 @@ pub fn simulate(
         last_delivery: 0,
         outstanding,
         rank_finish: vec![0; hosts],
+        route_buf: Vec::new(),
     };
 
     for h in 0..hosts as u32 {

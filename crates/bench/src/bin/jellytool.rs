@@ -46,6 +46,15 @@
 //!     `BENCH_<name>.json` (`jellyfish-bench v1`: median + IQR + raw
 //!     samples). With --baseline, compares medians and exits nonzero
 //!     on any regression beyond the tolerance (default 25%)
+//!
+//! jellytool expand --switches N --ports X --net-ports Y --add K
+//!                  [--seed S] [--expand-seed E] [--selection NAME]
+//!                  [--k K] [--out FILE]
+//!     grow a live RRG by K switches with bounded recabling (the
+//!     Jellyfish incremental-expansion scenario), repair the all-pairs
+//!     path table in place (only recabled + new pairs recomputed), and
+//!     report the recabling cost, repair work, and the path-quality
+//!     drift versus a fresh rebuild as JSON
 //! ```
 //!
 //! `table`, `faults`, `stats`, `cache` and `bench` accept `--trace FILE`:
@@ -89,7 +98,8 @@ fn usage() -> ! {
          jellytool faults --switches N --ports X --net-ports Y [--seed S] [--fault-seed F] [--k K] [--mech <sp|random|rr|ugal|ksp-ugal|adaptive>] [--rates CSV] [--pattern perm|uniform] [--paper true] [--audit true] [--out FILE] [--metrics FILE]\n  \
          jellytool stats --switches N --ports X --net-ports Y [--seed S] [--k K] [--selection NAME] [--mech NAME] [--rate R] [--pattern perm|uniform] [--paper true] [--stride C] [--threads T] [--audit true] [--out FILE] [--metrics FILE]\n  \
          jellytool cache <warm|stats|clear> --cache-dir DIR [--switches N --ports X --net-ports Y] [--seed S] [--selection NAME|all] [--k K]\n  \
-         jellytool bench [--quick|--full] [--runs N] [--filter SUBSTR] [--out-dir DIR] [--baseline FILE|DIR] [--tolerance PCT]\n\
+         jellytool bench [--quick|--full] [--runs N] [--filter SUBSTR] [--out-dir DIR] [--baseline FILE|DIR] [--tolerance PCT]\n  \
+         jellytool expand --switches N --ports X --net-ports Y --add K [--seed S] [--expand-seed E] [--selection NAME] [--k K] [--out FILE]\n\
          (table/faults/stats also accept --cache-dir DIR to reuse cached path tables;\n\
           table/faults/stats/cache/bench accept --trace FILE for a Chrome-trace timeline)"
     );
@@ -315,6 +325,9 @@ fn main() {
             &["runs", "out-dir", "baseline", "tolerance", "filter", "trace"],
             &["quick", "full"],
         )),
+        "expand" => {
+            expand(&parse_flags(rest, &["add", "expand-seed", "selection", "k", "out", "trace"]))
+        }
         _ => usage(),
     }
 }
@@ -675,6 +688,112 @@ fn stats(flags: &HashMap<String, String>) {
         None => print!("{out}"),
     }
     dump_metrics(flags);
+    dump_trace(flags);
+}
+
+fn expand(flags: &HashMap<String, String>) {
+    use jellyfish_routing::shortest_hop_drift;
+    use std::time::Instant;
+
+    enable_trace(flags);
+    let (params, net, seed) = network(flags);
+    let add: usize = required(flags, "add");
+    let expand_seed: u64 = num(flags, "expand-seed").unwrap_or(seed ^ 0xE0);
+    let k: usize = num(flags, "k").unwrap_or(8);
+    let sel = selection(flags.get("selection").map(String::as_str).unwrap_or("redksp"), k);
+
+    let t = Instant::now();
+    let mut table = PathTable::compute(net.graph(), sel, &PairSet::AllPairs, seed);
+    let base_table_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let exp = match jellyfish::topology::expand_rrg(net.graph(), params, add, expand_seed) {
+        Ok(exp) => exp,
+        Err(e) => {
+            eprintln!("cannot expand RRG: {e}");
+            std::process::exit(1);
+        }
+    };
+    let expand_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let repair = table.expand_to(&exp.graph, seed);
+    let repair_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // A from-scratch table on the expanded fabric is the quality yardstick:
+    // the drift report below says how far the in-place repair strays from it.
+    let t = Instant::now();
+    let fresh = PathTable::compute(&exp.graph, sel, &PairSet::AllPairs, seed);
+    let fresh_ms = t.elapsed().as_secs_f64() * 1e3;
+    let drift = shortest_hop_drift(&table, &fresh);
+
+    let mut out = String::from("{\n");
+    writeln!(
+        out,
+        "  \"topology\": \"RRG({},{},{})\",",
+        params.switches, params.ports, params.network_ports
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"expanded\": \"RRG({},{},{})\",",
+        exp.params.switches, exp.params.ports, exp.params.network_ports
+    )
+    .unwrap();
+    writeln!(out, "  \"selection\": \"{}\",", sel.name()).unwrap();
+    writeln!(out, "  \"seed\": {seed},").unwrap();
+    writeln!(out, "  \"expand_seed\": {expand_seed},").unwrap();
+    writeln!(
+        out,
+        "  \"recabling\": {{\"added_switches\": {}, \"removed_links\": {}, \
+         \"added_links\": {}, \"ops\": {}}},",
+        add,
+        exp.removed_edges.len(),
+        exp.added_edges.len(),
+        exp.recabling_ops()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"repair\": {{\"masked_pairs\": {}, \"new_pairs\": {}, \"reconnected\": {}}},",
+        repair.masked_pairs, repair.new_pairs, repair.reconnected
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"drift\": {{\"pairs\": {}, \"changed\": {}, \"max_delta\": {}, \"mean_delta\": {}}},",
+        drift.pairs,
+        drift.changed,
+        drift.max_delta,
+        json_num(drift.mean_delta)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"timings_ms\": {{\"base_table\": {}, \"expand\": {}, \"repair\": {}, \
+         \"fresh_rebuild\": {}}},",
+        json_num(base_table_ms),
+        json_num(expand_ms),
+        json_num(repair_ms),
+        json_num(fresh_ms)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"encoded_bytes\": {{\"repaired\": {}, \"fresh\": {}}}",
+        table.encoded_size(),
+        fresh.encoded_size()
+    )
+    .unwrap();
+    out.push_str("}\n");
+
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &out).expect("write JSON file");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{out}"),
+    }
     dump_trace(flags);
 }
 

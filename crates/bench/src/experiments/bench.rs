@@ -458,10 +458,84 @@ fn repair_workload() -> Workload {
     }
 }
 
+/// The 1024-switch fabric the quick-scale workloads run on: large
+/// enough that the O(N²) pitfalls this PR removed (materialized pair
+/// vectors, uncompressed path bytes) would dominate if they came back,
+/// small enough to stay in the CI tier.
+fn scale_params() -> (RrgParams, u64) {
+    (RrgParams::new(1024, 12, 11), 7)
+}
+
+fn topo_1024_workload() -> Workload {
+    let (params, seed) = scale_params();
+    Workload {
+        name: "topo_build_1024",
+        params: format!("RRG(1024,12,11) seed {seed}: build + connectivity checks"),
+        note: None,
+        run: Box::new(move || {
+            let (ns, net) = time(|| build_net(params, seed));
+            assert_eq!(net.graph().num_nodes(), 1024);
+            ns.into()
+        }),
+    }
+}
+
+/// rEDKSP(8) over a deterministic 1024-pair spread of the 1024-switch
+/// fabric. Full all-pairs at this size is the (deliberately untimed)
+/// acceptance run; the bench samples per-pair cost at scale and gauges
+/// how much the delta/varint `PathSet` encoding saves over a
+/// fixed-width one on real 1024-switch paths.
+fn path_1024_workload() -> Workload {
+    let (params, seed) = scale_params();
+    let mut net: Option<JellyfishNetwork> = None;
+    let sel = PathSelection::REdKsp(8);
+    Workload {
+        name: "path_redksp_1024",
+        params: format!("rEDKSP(8) over a 1024-pair spread on RRG(1024,12,11) seed {seed}"),
+        note: Some(
+            "compression gauges compare the compact delta/varint PathSet bytes against a \
+             fixed-width u32 encoding of the same paths (4 bytes per node plus a 4-byte \
+             length per path and per set)"
+                .to_string(),
+        ),
+        run: Box::new(move || {
+            let net = net.get_or_insert_with(|| build_net(params, seed));
+            let n = params.switches as u32;
+            // A fixed multiplicative spread of ordered pairs: deterministic,
+            // touches sources across the whole fabric, no RNG in the
+            // timed region's setup.
+            let pairs: Vec<(u32, u32)> = (0..1024u32)
+                .map(|i| (i % n, (i.wrapping_mul(509).wrapping_add(257)) % n))
+                .filter(|(s, d)| s != d)
+                .collect();
+            let set = PairSet::Pairs(pairs);
+            let (ns, table) = time(|| PathTable::compute(net.graph(), sel, &set, seed));
+            let mut encoded = 0usize;
+            let mut fixed = 0usize;
+            for (_, _, ps) in table.entries() {
+                encoded += ps.encoded_len();
+                fixed += 4;
+                for i in 0..ps.len() {
+                    fixed += 4 + 4 * (ps.hops(i) + 1);
+                }
+            }
+            RunSample {
+                ns,
+                extra: vec![
+                    ("encoded_bytes".to_string(), encoded as f64),
+                    ("fixed_width_bytes".to_string(), fixed as f64),
+                    ("compression_ratio".to_string(), fixed as f64 / encoded as f64),
+                ],
+            }
+        }),
+    }
+}
+
 /// Builds the suite for a tier. Quick covers every subsystem the
 /// ROADMAP's perf trajectory cares about: topology build, all-pairs
 /// path precomputation per scheme, the path-table cache, the cycle
-/// simulator (serial and sharded), and fault repair.
+/// simulator (serial and sharded), fault repair, and the 1024-switch
+/// quick-scale workloads.
 pub fn workloads(tier: Tier) -> Vec<Workload> {
     let mut list = vec![
         topo_workload(),
@@ -473,6 +547,8 @@ pub fn workloads(tier: Tier) -> Vec<Workload> {
         sim_workload("sim_cycles", Scale::Quick),
         sim_par_workload(),
         repair_workload(),
+        topo_1024_workload(),
+        path_1024_workload(),
     ];
     if tier == Tier::Full {
         list.push(sim_workload("sim_cycles_paper", Scale::Paper));
@@ -692,6 +768,8 @@ mod tests {
         assert!(names.contains(&"sim_cycles"));
         assert!(names.contains(&"sim_cycles_par"));
         assert!(names.contains(&"fault_repair"));
+        assert!(names.contains(&"topo_build_1024"));
+        assert!(names.contains(&"path_redksp_1024"));
         assert!(workloads(Tier::Full).len() > names.len());
     }
 }

@@ -415,6 +415,10 @@ pub(crate) struct Shard {
     host_rng: Vec<StdRng>,
     /// Per-router RNG streams (fault fates, reroute sampling).
     router_rng: Vec<StdRng>,
+    /// Scratch buffers for decoding candidate paths out of the compact
+    /// table encoding without per-packet allocation.
+    cand_a: Vec<NodeId>,
+    cand_b: Vec<NodeId>,
 
     /// Packets lost to faults (whole run).
     pub(crate) dropped: u64,
@@ -497,6 +501,8 @@ impl Shard {
             router_rng: (r_lo..r_hi)
                 .map(|r| StdRng::seed_from_u64(stream_seed(ctx.cfg.seed, ROUTER_STREAM, r as u64)))
                 .collect(),
+            cand_a: Vec::new(),
+            cand_b: Vec::new(),
             dropped: 0,
             rerouted: 0,
             generated_total: 0,
@@ -988,17 +994,17 @@ impl Shard {
         let k = ps.len();
         let lh = (host - self.h_lo) as usize;
         match ctx.mechanism {
-            Mechanism::SinglePath => out.extend_from_slice(ps.path(0)),
+            Mechanism::SinglePath => ps.path_into(0, out),
             Mechanism::Random => {
                 let i = self.host_rng[lh].random_range(0..k);
-                out.extend_from_slice(ps.path(i));
+                ps.path_into(i, out);
             }
             Mechanism::RoundRobin => {
                 let key = ((src_sw as u64) << 32) | dst_sw as u64;
                 let ctr = self.rr_pair.entry(key).or_insert(0);
                 let i = (*ctr as usize) % k;
                 *ctr = ctr.wrapping_add(1);
-                out.extend_from_slice(ps.path(i));
+                ps.path_into(i, out);
             }
             Mechanism::KspAdaptive => {
                 // Two random candidates among the k paths; smaller
@@ -1013,9 +1019,13 @@ impl Shard {
                 } else {
                     i
                 };
-                let (a, b) = (ps.path(i), ps.path(j));
-                let pick = if self.estimate(ctx, a) <= self.estimate(ctx, b) { a } else { b };
-                out.extend_from_slice(pick);
+                ps.path_into(i, out);
+                let mut alt = std::mem::take(&mut self.cand_a);
+                ps.path_into(j, &mut alt);
+                if self.estimate(ctx, out) > self.estimate(ctx, &alt) {
+                    std::mem::swap(out, &mut alt);
+                }
+                self.cand_a = alt;
             }
             Mechanism::KspUgal => {
                 // Minimal = shortest table path; non-minimal = random
@@ -1024,9 +1034,8 @@ impl Shard {
                 // no ordering promise, so the minimal path is selected
                 // by length rather than assumed to sit at index 0.
                 let mi = ps.shortest_index();
-                let min = ps.path(mi);
+                ps.path_into(mi, out);
                 if k == 1 {
-                    out.extend_from_slice(min);
                     return;
                 }
                 // One draw over the k-1 non-minimal indices; for sorted
@@ -1036,24 +1045,30 @@ impl Shard {
                 if j >= mi {
                     j += 1;
                 }
-                let non = ps.path(j);
-                let take_min = self.estimate(ctx, min) as i64
-                    <= self.estimate(ctx, non) as i64 + ctx.cfg.ugal_bias;
-                out.extend_from_slice(if take_min { min } else { non });
+                let mut non = std::mem::take(&mut self.cand_a);
+                ps.path_into(j, &mut non);
+                let take_min = self.estimate(ctx, out) as i64
+                    <= self.estimate(ctx, &non) as i64 + ctx.cfg.ugal_bias;
+                if !take_min {
+                    std::mem::swap(out, &mut non);
+                }
+                self.cand_a = non;
             }
             Mechanism::VanillaUgal => {
                 let sp = ctx.sp_table.expect("checked in new()");
-                let min = ps.path(ps.shortest_index());
+                ps.path_into(ps.shortest_index(), out);
                 let n = ctx.graph.num_nodes() as u32;
                 // Random intermediate distinct from both endpoints.
                 let mut inter = self.host_rng[lh].random_range(0..n);
                 while inter == src_sw || inter == dst_sw {
                     inter = self.host_rng[lh].random_range(0..n);
                 }
-                let leg1 = sp.get(src_sw, inter).expect("sp table is all-pairs").path(0);
-                let leg2 = sp.get(inter, dst_sw).expect("sp table is all-pairs").path(0);
+                let mut leg1 = std::mem::take(&mut self.cand_a);
+                let mut leg2 = std::mem::take(&mut self.cand_b);
+                sp.get(src_sw, inter).expect("sp table is all-pairs").path_into(0, &mut leg1);
+                sp.get(inter, dst_sw).expect("sp table is all-pairs").path_into(0, &mut leg2);
                 let non_hops = (leg1.len() - 1 + leg2.len() - 1) as u64;
-                let est_min = self.estimate(ctx, min);
+                let est_min = self.estimate(ctx, out);
                 let q_non = self.congestion(ctx, leg1[0], leg1[1]) as u64;
                 let est_non = match ctx.cfg.estimate {
                     EstimateForm::QueuePlusHopLatency => {
@@ -1061,12 +1076,13 @@ impl Shard {
                     }
                     EstimateForm::QueueTimesHops => q_non * non_hops,
                 };
-                if est_min as i64 <= est_non as i64 + ctx.cfg.ugal_bias {
-                    out.extend_from_slice(min);
-                } else {
-                    out.extend_from_slice(leg1);
+                if est_min as i64 > est_non as i64 + ctx.cfg.ugal_bias {
+                    out.clear();
+                    out.extend_from_slice(&leg1);
                     out.extend_from_slice(&leg2[1..]);
                 }
+                self.cand_a = leg1;
+                self.cand_b = leg2;
             }
         }
     }
@@ -1108,7 +1124,7 @@ impl Shard {
         if let Some(ps) = table.get(r, dst_sw) {
             // Uniform reservoir sample over the candidates that fit.
             for i in 0..ps.len() {
-                if ps.path(i).len() - 1 <= budget {
+                if ps.hops(i) <= budget {
                     seen += 1;
                     if self.router_rng[lr].random_range(0..seen) == 0 {
                         choice = Some(i);
@@ -1118,7 +1134,7 @@ impl Shard {
         }
         match choice {
             Some(i) => {
-                let tail = table.get(r, dst_sw).expect("sampled above").path(i).to_vec();
+                let tail = table.get(r, dst_sw).expect("sampled above").path(i);
                 let path = &mut self.arena.path[pid];
                 path.truncate(hop + 1);
                 debug_assert_eq!(*path.last().expect("non-empty prefix"), r);

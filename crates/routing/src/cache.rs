@@ -8,13 +8,13 @@
 //! exactly that tuple, so re-running an experiment with unchanged inputs
 //! loads the table instead of recomputing it.
 //!
-//! # The `jellyfish-ptab v1` format
+//! # The `jellyfish-ptab v2` format
 //!
 //! Little-endian throughout:
 //!
 //! ```text
 //! magic    [u8; 8]  = b"JFPTAB\r\n"   (the \r\n catches text-mode mangling)
-//! version  u32      = 1
+//! version  u32      = 2
 //! key block:
 //!   fingerprint u64   graph CSR fingerprint
 //!   n           u64   switch count
@@ -27,17 +27,26 @@
 //! body:
 //!   entry_count u64
 //!   entries sorted ascending by (s, d), each:
-//!     s u32, d u32, path_count u32,
-//!     then per path: len u32, nodes u32 × len
+//!     s u32, d u32, byte_len u32,
+//!     then the pair's canonical [`PathSet`] encoding, byte_len bytes
+//!     (varint path count + lengths + shared-prefix-delta node ids)
 //! footer:
 //!   checksum u64      FNV-1a over every preceding byte
 //! ```
 //!
+//! v2 stores each pair's compressed in-memory encoding verbatim — the
+//! serializer copies bytes instead of re-widening every node to a `u32`,
+//! which is what lets an all-pairs table at N=1024 stream to disk
+//! without an uncompressed intermediate. Version 1 files (per-path
+//! `len u32, nodes u32 × len` bodies) are still read; writes always
+//! produce v2.
+//!
 //! Readers verify the checksum before parsing, validate every node id and
 //! path endpoint, and return a [`CacheError`] — never panic — on
 //! truncated, corrupted or version-skewed input. Entries are written
-//! sorted, so a table serializes to identical bytes regardless of how many
-//! threads computed it (the determinism tests in `tests/` pin this down).
+//! sorted and the per-pair encoding is canonical, so a table serializes
+//! to identical bytes regardless of how many threads computed it (the
+//! determinism tests in `tests/` pin this down).
 //!
 //! # Invalidation
 //!
@@ -46,7 +55,7 @@
 //! different file. Stale files are merely unused; `jellytool cache clear`
 //! removes them.
 
-use crate::table::{PairSet, PathSelection, PathTable};
+use crate::table::{PairSet, PathSelection, PathSet, PathTable};
 use crate::LlskrConfig;
 use jellyfish_topology::{Graph, NodeId};
 use std::collections::HashMap;
@@ -56,7 +65,10 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 const MAGIC: [u8; 8] = *b"JFPTAB\r\n";
-const VERSION: u32 = 1;
+/// Format version written by [`encode_table`].
+const VERSION: u32 = 2;
+/// Oldest format version [`decode_table`] still reads.
+const VERSION_V1: u32 = 1;
 
 /// Why a cache file was rejected or could not be produced.
 #[derive(Debug)]
@@ -81,7 +93,10 @@ impl fmt::Display for CacheError {
             CacheError::Io(e) => write!(f, "i/o error: {e}"),
             CacheError::BadMagic => write!(f, "not a jellyfish-ptab file (bad magic)"),
             CacheError::BadVersion(v) => {
-                write!(f, "unsupported jellyfish-ptab version {v} (expected {VERSION})")
+                write!(
+                    f,
+                    "unsupported jellyfish-ptab version {v} (expected {VERSION_V1}-{VERSION})"
+                )
             }
             CacheError::Truncated => write!(f, "truncated jellyfish-ptab file"),
             CacheError::BadChecksum => write!(f, "jellyfish-ptab checksum mismatch"),
@@ -227,11 +242,13 @@ fn decode_selection(tag: u8, p: [u64; 3]) -> Result<PathSelection, CacheError> {
     })
 }
 
-/// Serializes `table` under `key` to `jellyfish-ptab v1` bytes.
+/// Serializes `table` under `key` to `jellyfish-ptab v2` bytes.
 ///
-/// Entries are emitted sorted by `(s, d)`, so identical tables produce
+/// Entries are emitted sorted by `(s, d)` and each pair's canonical
+/// compressed encoding is copied verbatim, so identical tables produce
 /// identical bytes independent of thread count or hash-map iteration
-/// order.
+/// order — and serialization streams: the entry walk borrows the table
+/// instead of materializing an O(N²) entry vector.
 pub fn encode_table(table: &PathTable, key: &CacheKey) -> Vec<u8> {
     let _span = jellyfish_obs::span("routing.cache.serialize");
     debug_assert_eq!(
@@ -239,22 +256,18 @@ pub fn encode_table(table: &PathTable, key: &CacheKey) -> Vec<u8> {
         key.pair_tag == 0,
         "dense storage must coincide with the all-pairs key tag"
     );
-    let entries = table.cache_entries();
-    let mut out = Vec::with_capacity(64 + entries.len() * 16);
+    let entry_count = table.cache_entry_count();
+    let mut out = Vec::with_capacity(80 + entry_count * 12 + table.encoded_size());
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     key.encode_into(&mut out);
-    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
-    for (s, d, set) in entries {
+    out.extend_from_slice(&(entry_count as u64).to_le_bytes());
+    for (s, d, set) in table.cache_entries() {
+        let body = set.encoded();
         out.extend_from_slice(&s.to_le_bytes());
         out.extend_from_slice(&d.to_le_bytes());
-        out.extend_from_slice(&(set.len() as u32).to_le_bytes());
-        for path in set.iter() {
-            out.extend_from_slice(&(path.len() as u32).to_le_bytes());
-            for &node in path {
-                out.extend_from_slice(&node.to_le_bytes());
-            }
-        }
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(body);
     }
     let checksum = fnv1a(&out);
     out.extend_from_slice(&checksum.to_le_bytes());
@@ -291,22 +304,23 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Parses only the key block of a `jellyfish-ptab v1` file (checksum is
+/// Parses only the key block of a `jellyfish-ptab` file (checksum is
 /// still verified over the whole file). Used by `jellytool cache stats`.
 pub fn decode_key(bytes: &[u8]) -> Result<CacheKey, CacheError> {
-    let mut cur = verify_envelope(bytes)?;
+    let (mut cur, _version) = verify_envelope(bytes)?;
     read_key(&mut cur)
 }
 
 /// Verifies magic, version and trailing checksum; returns a cursor
-/// positioned at the key block.
-fn verify_envelope(bytes: &[u8]) -> Result<Cursor<'_>, CacheError> {
+/// positioned at the key block plus the file's format version (the key
+/// block is identical across versions — only entry bodies differ).
+fn verify_envelope(bytes: &[u8]) -> Result<(Cursor<'_>, u32), CacheError> {
     let mut cur = Cursor { buf: bytes, pos: 0 };
     if cur.take(8).map_err(|_| CacheError::Truncated)? != MAGIC {
         return Err(CacheError::BadMagic);
     }
     let version = cur.u32()?;
-    if version != VERSION {
+    if !(VERSION_V1..=VERSION).contains(&version) {
         return Err(CacheError::BadVersion(version));
     }
     if bytes.len() < 20 {
@@ -319,7 +333,7 @@ fn verify_envelope(bytes: &[u8]) -> Result<Cursor<'_>, CacheError> {
     }
     // Hide the footer from the cursor so body parsing cannot consume it.
     cur.buf = body;
-    Ok(cur)
+    Ok((cur, version))
 }
 
 fn read_key(cur: &mut Cursor<'_>) -> Result<CacheKey, CacheError> {
@@ -338,15 +352,19 @@ fn read_key(cur: &mut Cursor<'_>) -> Result<CacheKey, CacheError> {
     Ok(CacheKey { fingerprint, n, seed, sel_tag, sel_params, pair_tag, pair_count, pairs_digest })
 }
 
-/// Parses a full `jellyfish-ptab v1` file into its key and table.
+/// Parses a full `jellyfish-ptab` file (v1 or v2) into its key and
+/// table.
 ///
 /// Strict: the checksum must match, node ids must be in range, path
 /// endpoints must equal the entry's pair, entries must be strictly sorted
 /// and no trailing bytes may remain. Returns [`CacheError`] on any
-/// violation — this function never panics on untrusted input.
+/// violation — this function never panics on untrusted input. Decoded
+/// paths are re-encoded through the canonical in-memory constructor, so
+/// even a doctored-but-consistent file yields a table byte-identical to
+/// a fresh computation of the same paths.
 pub fn decode_table(bytes: &[u8]) -> Result<(CacheKey, PathTable), CacheError> {
     let _span = jellyfish_obs::span("routing.cache.deserialize");
-    let mut cur = verify_envelope(bytes)?;
+    let (mut cur, version) = verify_envelope(bytes)?;
     let key = read_key(&mut cur)?;
     let selection = decode_selection(key.sel_tag, key.sel_params).expect("validated by read_key");
     if key.n > u32::MAX as u64 {
@@ -358,7 +376,7 @@ pub fn decode_table(bytes: &[u8]) -> Result<(CacheKey, PathTable), CacheError> {
     if key.pair_tag == 0 && entry_count != key.n * key.n.saturating_sub(1) {
         return Err(CacheError::Corrupt("all-pairs table with wrong entry count"));
     }
-    let mut entries: Vec<((NodeId, NodeId), crate::table::PathSet)> = Vec::new();
+    let mut entries: Vec<((NodeId, NodeId), PathSet)> = Vec::new();
     let mut prev: Option<(NodeId, NodeId)> = None;
     for _ in 0..entry_count {
         let s = cur.u32()?;
@@ -370,27 +388,36 @@ pub fn decode_table(bytes: &[u8]) -> Result<(CacheKey, PathTable), CacheError> {
             return Err(CacheError::Corrupt("entries not strictly sorted"));
         }
         prev = Some((s, d));
-        let path_count = cur.u32()?;
-        let mut paths: Vec<Vec<NodeId>> = Vec::new();
-        for _ in 0..path_count {
-            let len = cur.u32()? as usize;
-            if len < 2 {
+        let paths = if version >= 2 {
+            let byte_len = cur.u32()? as usize;
+            let raw = cur.take(byte_len)?;
+            PathSet::decode_paths(raw).map_err(CacheError::Corrupt)?
+        } else {
+            let path_count = cur.u32()?;
+            let mut paths: Vec<Vec<NodeId>> = Vec::new();
+            for _ in 0..path_count {
+                let len = cur.u32()? as usize;
+                let raw = cur.take(len.checked_mul(4).ok_or(CacheError::Truncated)?)?;
+                paths.push(
+                    raw.chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                        .collect(),
+                );
+            }
+            paths
+        };
+        for path in &paths {
+            if path.len() < 2 {
                 return Err(CacheError::Corrupt("path shorter than one hop"));
             }
-            let raw = cur.take(len * 4)?;
-            let path: Vec<NodeId> = raw
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
-                .collect();
             if path.iter().any(|&v| v as usize >= n) {
                 return Err(CacheError::Corrupt("path node out of range"));
             }
             if path[0] != s || *path.last().expect("len >= 2") != d {
                 return Err(CacheError::Corrupt("path endpoints disagree with pair"));
             }
-            paths.push(path);
         }
-        entries.push(((s, d), crate::table::PathSet::from_paths(&paths)));
+        entries.push(((s, d), PathSet::from_paths(&paths)));
     }
     if cur.pos != cur.buf.len() {
         return Err(CacheError::Corrupt("trailing bytes after last entry"));
@@ -420,47 +447,64 @@ pub struct CacheEntryInfo {
 }
 
 /// Content-addressed path-table store: an in-process LRU in front of a
-/// directory of `jellyfish-ptab v1` files.
+/// directory of `jellyfish-ptab` files.
 ///
 /// [`PathCache::load_or_compute`] is the front door: memory hit, else
 /// disk hit (with full validation — a corrupt file is treated as a miss
 /// and overwritten), else compute-and-store. All outcomes are counted in
 /// the [`jellyfish_obs`] registry under `routing.cache.*`.
+///
+/// The in-memory tier evicts by a **byte budget**, not an entry count:
+/// one all-pairs table at N=1024 outweighs thousands of N=64 tables, so
+/// counting entries would let resident memory scale O(N²·k·hops) with
+/// whatever happens to be cached. Tables report their encoded size
+/// ([`PathTable::encoded_size`]); the least-recently-used tables are
+/// evicted until the sum fits the budget, always keeping at least the
+/// newest entry so a single oversized table still caches.
 pub struct PathCache {
     dir: PathBuf,
-    capacity: usize,
+    byte_budget: usize,
     lru: Mutex<LruState>,
 }
 
 #[derive(Default)]
 struct LruState {
     tick: u64,
-    map: HashMap<CacheKey, (u64, Arc<PathTable>)>,
+    resident_bytes: usize,
+    map: HashMap<CacheKey, (u64, usize, Arc<PathTable>)>,
 }
 
 impl fmt::Debug for PathCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PathCache")
             .field("dir", &self.dir)
-            .field("capacity", &self.capacity)
+            .field("byte_budget", &self.byte_budget)
             .finish_non_exhaustive()
     }
 }
 
 impl PathCache {
-    /// Default number of tables kept in memory.
-    pub const DEFAULT_CAPACITY: usize = 8;
+    /// Default in-memory budget: comfortably holds the paper's N=64
+    /// workloads and a couple of N=1024 all-pairs tables without letting
+    /// a long-running process accumulate every table it ever touched.
+    pub const DEFAULT_BYTE_BUDGET: usize = 256 << 20;
 
     /// Opens (creating if needed) a cache rooted at `dir`.
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
-        Self::with_capacity(dir, Self::DEFAULT_CAPACITY)
+        Self::with_byte_budget(dir, Self::DEFAULT_BYTE_BUDGET)
     }
 
-    /// [`PathCache::new`] with an explicit in-memory LRU capacity.
-    pub fn with_capacity(dir: impl Into<PathBuf>, capacity: usize) -> io::Result<Self> {
+    /// [`PathCache::new`] with an explicit in-memory byte budget.
+    pub fn with_byte_budget(dir: impl Into<PathBuf>, byte_budget: usize) -> io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir, capacity: capacity.max(1), lru: Mutex::new(LruState::default()) })
+        Ok(Self { dir, byte_budget, lru: Mutex::new(LruState::default()) })
+    }
+
+    /// Bytes currently held by the in-memory tier (encoded-size
+    /// accounting, the same measure the budget is enforced in).
+    pub fn resident_bytes(&self) -> usize {
+        self.lru.lock().expect("cache lru poisoned").resident_bytes
     }
 
     /// The cache directory.
@@ -536,23 +580,32 @@ impl PathCache {
         let tick = lru.tick;
         lru.map.get_mut(key).map(|slot| {
             slot.0 = tick;
-            Arc::clone(&slot.1)
+            Arc::clone(&slot.2)
         })
     }
 
     fn lru_put(&self, key: CacheKey, table: Arc<PathTable>) {
+        let size = table.encoded_size();
         let mut lru = self.lru.lock().expect("cache lru poisoned");
         lru.tick += 1;
         let tick = lru.tick;
-        lru.map.insert(key, (tick, table));
-        while lru.map.len() > self.capacity {
+        if let Some((_, old_size, _)) = lru.map.insert(key, (tick, size, table)) {
+            lru.resident_bytes -= old_size;
+        }
+        lru.resident_bytes += size;
+        // Evict oldest-first until the budget holds, but never evict the
+        // entry just inserted: a single table above the whole budget is
+        // still worth keeping (the alternative is recomputing it every
+        // call).
+        while lru.resident_bytes > self.byte_budget && lru.map.len() > 1 {
             let oldest = *lru
                 .map
                 .iter()
-                .min_by_key(|(_, (t, _))| *t)
+                .min_by_key(|(_, (t, _, _))| *t)
                 .map(|(k, _)| k)
                 .expect("map non-empty");
-            lru.map.remove(&oldest);
+            let (_, evicted_size, _) = lru.map.remove(&oldest).expect("key just found");
+            lru.resident_bytes -= evicted_size;
         }
     }
 
@@ -601,6 +654,7 @@ impl PathCache {
         }
         let mut lru = self.lru.lock().expect("cache lru poisoned");
         lru.map.clear();
+        lru.resident_bytes = 0;
         Ok(removed)
     }
 }
@@ -738,9 +792,10 @@ mod tests {
         bad_magic[0] ^= 0xff;
         assert!(matches!(decode_table(&bad_magic), Err(CacheError::BadMagic)));
 
+        // Version 1 and 2 are both accepted, so skew to 3.
         let mut bad_version = bytes.clone();
-        bad_version[8] = 2;
-        assert!(matches!(decode_table(&bad_version), Err(CacheError::BadVersion(2))));
+        bad_version[8] = 3;
+        assert!(matches!(decode_table(&bad_version), Err(CacheError::BadVersion(3))));
 
         let mut flipped = bytes.clone();
         let mid = flipped.len() / 2;
@@ -801,10 +856,13 @@ mod tests {
     }
 
     #[test]
-    fn lru_evicts_oldest() {
+    fn lru_evicts_oldest_over_byte_budget() {
         let dir = tmp_dir("lru");
         let g = small_graph();
-        let cache = PathCache::with_capacity(&dir, 2).unwrap();
+        // Budget sized for exactly two of the three (equally sized)
+        // tables, so the third insert must push out the oldest.
+        let one = PathTable::compute(&g, PathSelection::Ksp(1), &PairSet::AllPairs, 0);
+        let cache = PathCache::with_byte_budget(&dir, 2 * one.encoded_size()).unwrap();
         for seed in 0..3u64 {
             cache.load_or_compute(&g, PathSelection::Ksp(1), &PairSet::AllPairs, seed);
         }
@@ -814,6 +872,83 @@ mod tests {
         assert!(!lru.map.contains_key(&evicted), "seed 0 must be the evicted entry");
         drop(lru);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn byte_budget_bounds_resident_memory() {
+        let dir = tmp_dir("budget");
+        let g = small_graph();
+        let one = PathTable::compute(&g, PathSelection::Ksp(2), &PairSet::AllPairs, 0);
+        let budget = 3 * one.encoded_size();
+        let cache = PathCache::with_byte_budget(&dir, budget).unwrap();
+        // Regression guard for the entry-count LRU this replaced: a
+        // stream of distinct tables must never push resident bytes past
+        // the budget, however many entries that means.
+        for seed in 0..16u64 {
+            cache.load_or_compute(&g, PathSelection::Ksp(2), &PairSet::AllPairs, seed);
+            assert!(
+                cache.resident_bytes() <= budget,
+                "resident {} exceeds budget {budget} after seed {seed}",
+                cache.resident_bytes()
+            );
+        }
+        assert!(cache.resident_bytes() > 0);
+        // Accounting stays exact: the map's sizes sum to the gauge.
+        let lru = cache.lru.lock().unwrap();
+        let sum: usize = lru.map.values().map(|(_, size, _)| *size).sum();
+        assert_eq!(sum, lru.resident_bytes);
+        drop(lru);
+        // A single table larger than the whole budget is still cached
+        // (never evict the newest), and the gauge reflects it.
+        let tiny = PathCache::with_byte_budget(&dir, 1).unwrap();
+        tiny.load_or_compute(&g, PathSelection::Ksp(2), &PairSet::AllPairs, 99);
+        assert_eq!(tiny.lru.lock().unwrap().map.len(), 1);
+        assert!(tiny.resident_bytes() > 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Test-only writer for the retired v1 entry layout (per-path
+    /// `len u32, nodes u32 × len` bodies).
+    fn encode_table_v1(table: &PathTable, key: &CacheKey) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION_V1.to_le_bytes());
+        key.encode_into(&mut out);
+        out.extend_from_slice(&(table.cache_entry_count() as u64).to_le_bytes());
+        for (s, d, set) in table.cache_entries() {
+            out.extend_from_slice(&s.to_le_bytes());
+            out.extend_from_slice(&d.to_le_bytes());
+            out.extend_from_slice(&(set.len() as u32).to_le_bytes());
+            for path in set.iter() {
+                out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+                for &node in &path {
+                    out.extend_from_slice(&node.to_le_bytes());
+                }
+            }
+        }
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn v1_files_decode_to_the_same_table_as_v2() {
+        let g = small_graph();
+        for pairs in [PairSet::AllPairs, PairSet::Pairs(vec![(0, 9), (9, 0), (2, 7)])] {
+            let sel = PathSelection::RKsp(3);
+            let table = PathTable::compute(&g, sel, &pairs, 17);
+            let key = CacheKey::new(&g, sel, &pairs, 17);
+            let v1 = encode_table_v1(&table, &key);
+            let v2 = encode_table(&table, &key);
+            assert_ne!(v1, v2, "v2 must actually change the entry encoding");
+            assert!(v2.len() < v1.len(), "v2 ({}) should shrink vs v1 ({})", v2.len(), v1.len());
+            let (k1, t1) = decode_table(&v1).expect("v1 decodes");
+            let (k2, t2) = decode_table(&v2).expect("v2 decodes");
+            assert_eq!(k1, key);
+            assert_eq!(k2, key);
+            assert_eq!(t1, table, "v1 read-compat must reproduce the table");
+            assert_eq!(t2, table);
+        }
     }
 
     #[test]

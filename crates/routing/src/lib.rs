@@ -45,7 +45,10 @@ pub use llskr::{llskr_paths, llskr_paths_with, LlskrConfig};
 pub use mask::Mask;
 pub use properties::{path_properties, PathProperties};
 pub use serialize::{load_table, read_table, save_table, write_table, ReadError};
-pub use table::{FaultReport, PairSet, PairSurvival, Path, PathSelection, PathTable};
+pub use table::{
+    shortest_hop_drift, DriftReport, ExpandRepair, FaultReport, PairSet, PairSurvival, Path,
+    PathSelection, PathTable,
+};
 pub use workspace::{with_thread_workspace, DijkstraWorkspace};
 pub use yen::{k_shortest_paths, k_shortest_paths_with};
 

@@ -155,60 +155,191 @@ impl PairSet {
     }
 }
 
-/// The paths of one ordered pair, stored flat.
+/// Appends `v` as an LEB128 varint.
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads the LEB128 varint at `*pos`, advancing it. Trusted-buffer
+/// variant: out-of-bounds reads panic (the buffers come from
+/// [`PathSet::from_paths`]; untrusted file bytes go through
+/// [`PathSet::decode_paths`] instead).
+fn read_varint(data: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = data[*pos];
+        *pos += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Bounds-checked LEB128 read for untrusted bytes.
+fn checked_varint(data: &[u8], pos: &mut usize) -> Result<u64, &'static str> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &b = data.get(*pos).ok_or("truncated varint")?;
+        *pos += 1;
+        if shift >= 63 && b > 1 {
+            return Err("varint overflow");
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// The paths of one ordered pair, stored as one compact byte buffer.
+///
+/// Layout (every integer an LEB128 varint):
+///
+/// ```text
+/// [path count] [node count of each path] [per path: length of the
+/// prefix shared with the previous path, then the remaining node ids]
+/// ```
+///
+/// The selection schemes emit few, short, heavily overlapping paths
+/// (k ≤ 8, mostly small node ids, long shared prefixes from
+/// Yen/Remove-Find deviations), which is exactly where varints plus
+/// shared-prefix deltas pay: the all-pairs table at N=1024 shrinks
+/// severalfold vs the old flat-`u32` layout, and the same bytes go to
+/// disk unchanged as a `jellyfish-ptab v2` entry body.
+///
+/// The encoding is canonical — `from_paths` always takes the maximal
+/// shared prefix and the empty set is the empty buffer — so the derived
+/// equality equals path-list equality and re-encoding a decoded set
+/// reproduces its bytes exactly (the cache's determinism tests rely on
+/// this).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PathSet {
-    nodes: Vec<NodeId>,
-    /// End offset (exclusive) of each path within `nodes`.
-    ends: Vec<u32>,
+    data: Vec<u8>,
 }
 
 impl PathSet {
-    /// Builds from a list of paths.
+    /// Builds from a list of paths (the canonical encoder).
     pub fn from_paths(paths: &[Path]) -> Self {
-        let total = paths.iter().map(Vec::len).sum();
-        let mut nodes = Vec::with_capacity(total);
-        let mut ends = Vec::with_capacity(paths.len());
-        for p in paths {
-            nodes.extend_from_slice(p);
-            ends.push(nodes.len() as u32);
+        if paths.is_empty() {
+            return Self::default();
         }
-        Self { nodes, ends }
+        let mut data = Vec::with_capacity(8 + 2 * paths.iter().map(Vec::len).sum::<usize>());
+        write_varint(&mut data, paths.len() as u64);
+        for p in paths {
+            write_varint(&mut data, p.len() as u64);
+        }
+        let mut prev: &[NodeId] = &[];
+        for p in paths {
+            let shared = prev.iter().zip(p.iter()).take_while(|(a, b)| a == b).count();
+            write_varint(&mut data, shared as u64);
+            for &node in &p[shared..] {
+                write_varint(&mut data, u64::from(node));
+            }
+            prev = p;
+        }
+        Self { data }
     }
 
     /// Number of paths.
     #[inline]
     pub fn len(&self) -> usize {
-        self.ends.len()
+        if self.data.is_empty() {
+            return 0;
+        }
+        let mut pos = 0;
+        read_varint(&self.data, &mut pos) as usize
     }
 
     /// True if the pair has no paths.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.ends.is_empty()
+        self.data.is_empty()
     }
 
-    /// The `i`-th path as a node slice.
+    /// Decodes the `i`-th path into `out` (cleared first) without
+    /// allocating beyond `out`'s capacity — the hot-loop accessor.
+    ///
+    /// Paths 0..i share prefixes, so decoding accumulates through them:
+    /// cost is proportional to the set prefix, which is fine for the
+    /// small per-pair `k` the schemes produce.
+    pub fn path_into(&self, i: usize, out: &mut Vec<NodeId>) {
+        out.clear();
+        let mut lens_pos = 0;
+        let count = read_varint(&self.data, &mut lens_pos) as usize;
+        assert!(i < count, "path index {i} out of range ({count} paths)");
+        let mut data_pos = lens_pos;
+        for _ in 0..count {
+            read_varint(&self.data, &mut data_pos);
+        }
+        for _ in 0..=i {
+            let len = read_varint(&self.data, &mut lens_pos) as usize;
+            let shared = read_varint(&self.data, &mut data_pos) as usize;
+            out.truncate(shared);
+            for _ in shared..len {
+                out.push(read_varint(&self.data, &mut data_pos) as NodeId);
+            }
+        }
+    }
+
+    /// The `i`-th path, decoded. Hot loops should reuse a buffer via
+    /// [`PathSet::path_into`] instead.
     #[inline]
-    pub fn path(&self, i: usize) -> &[NodeId] {
-        let lo = if i == 0 { 0 } else { self.ends[i - 1] as usize };
-        &self.nodes[lo..self.ends[i] as usize]
+    pub fn path(&self, i: usize) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.path_into(i, &mut out);
+        out
     }
 
-    /// Hop count (edges) of the `i`-th path.
+    /// Hop count (edges) of the `i`-th path — a length-block scan, no
+    /// path decode.
     #[inline]
     pub fn hops(&self, i: usize) -> usize {
-        self.path(i).len() - 1
+        let mut pos = 0;
+        let count = read_varint(&self.data, &mut pos) as usize;
+        assert!(i < count, "path index {i} out of range ({count} paths)");
+        for _ in 0..i {
+            read_varint(&self.data, &mut pos);
+        }
+        read_varint(&self.data, &mut pos) as usize - 1
     }
 
-    /// Iterates over paths as node slices.
-    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
-        (0..self.len()).map(move |i| self.path(i))
+    /// Iterates over the paths, decoded incrementally in one pass.
+    pub fn iter(&self) -> PathSetIter<'_> {
+        let mut lens_pos = 0;
+        let remaining =
+            if self.data.is_empty() { 0 } else { read_varint(&self.data, &mut lens_pos) as usize };
+        let mut data_pos = lens_pos;
+        for _ in 0..remaining {
+            read_varint(&self.data, &mut data_pos);
+        }
+        PathSetIter { data: &self.data, lens_pos, data_pos, remaining, acc: Vec::new() }
     }
 
     /// Longest path hop count, 0 when empty.
     pub fn max_hops(&self) -> usize {
-        self.iter().map(|p| p.len() - 1).max().unwrap_or(0)
+        let mut pos = 0;
+        if self.data.is_empty() {
+            return 0;
+        }
+        let count = read_varint(&self.data, &mut pos) as usize;
+        let mut max = 0;
+        for _ in 0..count {
+            max = max.max(read_varint(&self.data, &mut pos) as usize - 1);
+        }
+        max
     }
 
     /// Index of the shortest path (first such index on ties), 0 when
@@ -217,17 +348,122 @@ impl PathSet {
     /// ordering promise, so minimal-path consumers (UGAL) must select by
     /// length rather than assume index 0.
     pub fn shortest_index(&self) -> usize {
+        if self.data.is_empty() {
+            return 0;
+        }
+        let mut pos = 0;
+        let count = read_varint(&self.data, &mut pos) as usize;
         // Strict `<` keeps the first index on ties (`min_by_key` would
         // keep the last, needlessly disturbing sorted tables).
-        let mut best = 0;
-        for i in 1..self.len() {
-            if self.hops(i) < self.hops(best) {
+        let (mut best, mut best_len) = (0, u64::MAX);
+        for i in 0..count {
+            let len = read_varint(&self.data, &mut pos);
+            if len < best_len {
                 best = i;
+                best_len = len;
             }
         }
         best
     }
+
+    /// Size of the encoded buffer in bytes.
+    #[inline]
+    pub fn encoded_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The raw encoded bytes (the `jellyfish-ptab v2` entry body).
+    pub(crate) fn encoded(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Decodes an untrusted encoded buffer into its path list.
+    ///
+    /// Every read is bounds-checked, structural inconsistencies (shared
+    /// prefix longer than the previous path, trailing bytes, overlong
+    /// varints) are rejected, and allocation is bounded by the input
+    /// size. The cache loader validates the decoded paths semantically
+    /// and re-encodes through [`PathSet::from_paths`], so a
+    /// non-canonical file never reaches the trusted accessors.
+    pub(crate) fn decode_paths(bytes: &[u8]) -> Result<Vec<Path>, &'static str> {
+        if bytes.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut pos = 0;
+        let count = checked_varint(bytes, &mut pos)? as usize;
+        if count == 0 {
+            return Err("non-canonical empty path set");
+        }
+        if count > bytes.len() {
+            return Err("path count exceeds buffer");
+        }
+        let mut lens = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = checked_varint(bytes, &mut pos)? as usize;
+            if len > bytes.len() {
+                return Err("path length exceeds buffer");
+            }
+            lens.push(len);
+        }
+        let mut paths: Vec<Path> = Vec::with_capacity(count);
+        let mut acc: Vec<NodeId> = Vec::new();
+        for &len in &lens {
+            let shared = checked_varint(bytes, &mut pos)? as usize;
+            if shared > acc.len() || shared > len {
+                return Err("bad shared prefix");
+            }
+            acc.truncate(shared);
+            for _ in shared..len {
+                let node = checked_varint(bytes, &mut pos)?;
+                if node > u64::from(u32::MAX) {
+                    return Err("node id overflow");
+                }
+                acc.push(node as NodeId);
+            }
+            paths.push(acc.clone());
+        }
+        if pos != bytes.len() {
+            return Err("trailing bytes in path set");
+        }
+        Ok(paths)
+    }
 }
+
+/// Iterator over a [`PathSet`], yielding each path as an owned `Vec`.
+///
+/// Decodes in a single pass: each step reuses the accumulated previous
+/// path (shared-prefix truncate + extend) and clones it out.
+pub struct PathSetIter<'a> {
+    data: &'a [u8],
+    lens_pos: usize,
+    data_pos: usize,
+    remaining: usize,
+    acc: Vec<NodeId>,
+}
+
+impl Iterator for PathSetIter<'_> {
+    type Item = Vec<NodeId>;
+
+    fn next(&mut self) -> Option<Vec<NodeId>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let len = read_varint(self.data, &mut self.lens_pos) as usize;
+        let shared = read_varint(self.data, &mut self.data_pos) as usize;
+        self.acc.truncate(shared);
+        for _ in shared..len {
+            self.acc.push(read_varint(self.data, &mut self.data_pos) as NodeId);
+        }
+        Some(self.acc.clone())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for PathSetIter<'_> {}
 
 /// Computed paths for a set of switch pairs.
 ///
@@ -253,6 +489,11 @@ fn pack(s: NodeId, d: NodeId) -> u64 {
     ((s as u64) << 32) | d as u64
 }
 
+/// Pairs per parallel block in the streaming all-pairs compute: large
+/// enough to amortize the fan-out, small enough that the transient
+/// uncompressed per-pair results stay bounded at any N.
+const PAIR_BLOCK: u64 = 4096;
+
 impl PathTable {
     /// Computes the table for `selection` over `pairs` on `graph`.
     ///
@@ -263,23 +504,38 @@ impl PathTable {
         let n = graph.num_nodes();
         let storage = match pairs {
             PairSet::AllPairs => {
-                let sets: Vec<PathSet> = (0..(n * n) as u64)
-                    .into_par_iter()
-                    .map(|idx| {
-                        let s = (idx / n as u64) as NodeId;
-                        let d = (idx % n as u64) as NodeId;
-                        if s == d {
-                            PathSet::default()
-                        } else {
-                            let _t = jellyfish_obs::trace::span("routing.pair.compute");
-                            with_thread_workspace(graph, |ws| {
-                                PathSet::from_paths(
-                                    &selection.paths_for_pair_with(graph, s, d, seed, ws),
-                                )
-                            })
-                        }
-                    })
-                    .collect();
+                // Stream the n² index space through the rayon fan-out
+                // in bounded blocks: peak transient state is one
+                // block's worth of freshly encoded sets, never a
+                // materialized pair vector or an uncompressed table —
+                // at N=1024 the old eager pair list alone was ~8 MB,
+                // and per-pair `Vec<Path>` intermediates only ever
+                // exist for the block in flight.
+                let total = (n * n) as u64;
+                let mut sets: Vec<PathSet> = Vec::with_capacity(n * n);
+                let mut start = 0u64;
+                while start < total {
+                    let end = (start + PAIR_BLOCK).min(total);
+                    let mut block: Vec<PathSet> = (start..end)
+                        .into_par_iter()
+                        .map(|idx| {
+                            let s = (idx / n as u64) as NodeId;
+                            let d = (idx % n as u64) as NodeId;
+                            if s == d {
+                                PathSet::default()
+                            } else {
+                                let _t = jellyfish_obs::trace::span("routing.pair.compute");
+                                with_thread_workspace(graph, |ws| {
+                                    PathSet::from_paths(
+                                        &selection.paths_for_pair_with(graph, s, d, seed, ws),
+                                    )
+                                })
+                            }
+                        })
+                        .collect();
+                    sets.append(&mut block);
+                    start = end;
+                }
                 Storage::Dense(sets)
             }
             PairSet::Pairs(_) => {
@@ -453,25 +709,54 @@ impl PathTable {
     /// exactly, and `get()` distinguishes "covered but empty" from "not
     /// covered". Dense tables skip the (always empty) diagonal, which the
     /// loader reconstructs.
-    pub(crate) fn cache_entries(&self) -> Vec<(NodeId, NodeId, &PathSet)> {
+    ///
+    /// Streams: the dense walk is allocation-free (row-major order is
+    /// already sorted), so the cache serializer never holds an O(N²)
+    /// entry vector next to the table. Sparse tables sort their
+    /// (caller-sized) key list.
+    pub(crate) fn cache_entries(
+        &self,
+    ) -> Box<dyn Iterator<Item = (NodeId, NodeId, &PathSet)> + '_> {
         match &self.storage {
-            Storage::Dense(v) => v
-                .iter()
-                .enumerate()
-                .filter_map(|(i, ps)| {
-                    let (s, d) = ((i / self.n) as NodeId, (i % self.n) as NodeId);
-                    if s == d {
-                        None
-                    } else {
-                        Some((s, d, ps))
-                    }
-                })
-                .collect(),
+            Storage::Dense(v) => Box::new(v.iter().enumerate().filter_map(move |(i, ps)| {
+                let (s, d) = ((i / self.n) as NodeId, (i % self.n) as NodeId);
+                if s == d {
+                    None
+                } else {
+                    Some((s, d, ps))
+                }
+            })),
             Storage::Sparse(m) => {
-                let mut v: Vec<(NodeId, NodeId, &PathSet)> =
-                    m.iter().map(|(&key, ps)| ((key >> 32) as NodeId, key as u32, ps)).collect();
-                v.sort_unstable_by_key(|&(s, d, _)| (s, d));
-                v
+                let mut keys: Vec<u64> = m.keys().copied().collect();
+                keys.sort_unstable();
+                Box::new(
+                    keys.into_iter().map(move |key| ((key >> 32) as NodeId, key as u32, &m[&key])),
+                )
+            }
+        }
+    }
+
+    /// Number of entries [`PathTable::cache_entries`] yields, without
+    /// iterating.
+    pub(crate) fn cache_entry_count(&self) -> usize {
+        match &self.storage {
+            Storage::Dense(_) => self.n * self.n.saturating_sub(1),
+            Storage::Sparse(m) => m.len(),
+        }
+    }
+
+    /// Total encoded bytes of every stored path set plus a per-entry
+    /// bookkeeping estimate — what this table costs resident in the
+    /// in-process cache, and the numerator of the compression gauges in
+    /// the bench suite.
+    pub fn encoded_size(&self) -> usize {
+        let entry_overhead = std::mem::size_of::<PathSet>() + std::mem::size_of::<u64>();
+        match &self.storage {
+            Storage::Dense(v) => {
+                v.iter().map(PathSet::encoded_len).sum::<usize>() + v.len() * entry_overhead
+            }
+            Storage::Sparse(m) => {
+                m.values().map(PathSet::encoded_len).sum::<usize>() + m.len() * entry_overhead
             }
         }
     }
@@ -492,8 +777,7 @@ impl PathTable {
             if before == 0 {
                 return;
             }
-            let live: Vec<Path> =
-                ps.iter().filter(|p| view.path_is_live(p)).map(|p| p.to_vec()).collect();
+            let live: Vec<Path> = ps.iter().filter(|p| view.path_is_live(p)).collect();
             let after = live.len();
             if after < before {
                 *ps = PathSet::from_paths(&live);
@@ -541,8 +825,7 @@ impl PathTable {
     pub fn retain_max_hops(&mut self, limit: usize) {
         let mut trim = |ps: &mut PathSet| {
             if ps.max_hops() > limit {
-                let keep: Vec<Path> =
-                    ps.iter().filter(|p| p.len() - 1 <= limit).map(|p| p.to_vec()).collect();
+                let keep: Vec<Path> = ps.iter().filter(|p| p.len() - 1 <= limit).collect();
                 *ps = PathSet::from_paths(&keep);
             }
         };
@@ -568,39 +851,227 @@ impl PathTable {
     pub fn repair(&mut self, view: &DegradedGraph, pairs: &[(NodeId, NodeId)], seed: u64) -> usize {
         let _span = jellyfish_obs::span("routing.table.repair");
         let degraded = view.materialize();
+        self.recompute_on(&degraded, pairs, seed)
+    }
+
+    /// Recomputes this table's selection for `pairs` on `graph`, in
+    /// parallel, and swaps the results in — the engine under both
+    /// fault [`PathTable::repair`] and incremental-expansion repair
+    /// (topology *growth* is just another fabric change touching a
+    /// bounded pair set). Pairs are processed in bounded blocks like
+    /// [`PathTable::compute`]. Returns the number of pairs with at
+    /// least one path after recompute.
+    pub fn recompute_on(&mut self, graph: &Graph, pairs: &[(NodeId, NodeId)], seed: u64) -> usize {
         let selection = self.selection;
-        let recomputed: Vec<((NodeId, NodeId), PathSet)> = pairs
-            .par_iter()
-            .map(|&(s, d)| {
-                let _t = jellyfish_obs::trace::span("routing.pair.repair");
-                let ps = with_thread_workspace(&degraded, |ws| {
-                    let mut paths = selection.paths_for_pair_with(&degraded, s, d, seed, ws);
-                    // The schemes emit length-sorted paths already, but
-                    // enforce the ordering here so repaired pairs keep
-                    // the shortest-first invariant that minimal-path
-                    // consumers (UGAL) and tests may rely on, whatever
-                    // the scheme. Stable: equal-length paths keep their
-                    // scheme-given order.
-                    paths.sort_by_key(Vec::len);
-                    PathSet::from_paths(&paths)
-                });
-                ((s, d), ps)
-            })
-            .collect();
         let mut reconnected = 0;
-        for ((s, d), ps) in recomputed {
-            if !ps.is_empty() {
-                reconnected += 1;
-            }
-            self.max_hops = self.max_hops.max(ps.max_hops());
-            match &mut self.storage {
-                Storage::Dense(v) => v[s as usize * self.n + d as usize] = ps,
-                Storage::Sparse(m) => {
-                    m.insert(pack(s, d), ps);
+        for chunk in pairs.chunks(PAIR_BLOCK as usize) {
+            let recomputed: Vec<((NodeId, NodeId), PathSet)> = chunk
+                .par_iter()
+                .map(|&(s, d)| {
+                    let _t = jellyfish_obs::trace::span("routing.pair.repair");
+                    let ps = with_thread_workspace(graph, |ws| {
+                        let mut paths = selection.paths_for_pair_with(graph, s, d, seed, ws);
+                        // The schemes emit length-sorted paths already,
+                        // but enforce the ordering here so repaired
+                        // pairs keep the shortest-first invariant that
+                        // minimal-path consumers (UGAL) and tests may
+                        // rely on, whatever the scheme. Stable:
+                        // equal-length paths keep their scheme-given
+                        // order.
+                        paths.sort_by_key(Vec::len);
+                        PathSet::from_paths(&paths)
+                    });
+                    ((s, d), ps)
+                })
+                .collect();
+            for ((s, d), ps) in recomputed {
+                if !ps.is_empty() {
+                    reconnected += 1;
+                }
+                self.max_hops = self.max_hops.max(ps.max_hops());
+                match &mut self.storage {
+                    Storage::Dense(v) => v[s as usize * self.n + d as usize] = ps,
+                    Storage::Sparse(m) => {
+                        m.insert(pack(s, d), ps);
+                    }
                 }
             }
         }
         reconnected
+    }
+
+    /// Re-indexes the table for a fabric grown to `new_n ≥ n` switches.
+    ///
+    /// Existing pairs keep their paths (dense storage is re-laid out
+    /// for the wider row stride; sparse keys are stride-free); pairs
+    /// involving the new switches are covered-but-empty in dense
+    /// tables, exactly like a freshly disconnected pair, until
+    /// [`PathTable::recompute_on`] fills them in.
+    pub fn grow(&mut self, new_n: usize) {
+        assert!(new_n >= self.n, "grow cannot shrink a table ({} -> {new_n})", self.n);
+        if new_n == self.n {
+            return;
+        }
+        if let Storage::Dense(v) = &mut self.storage {
+            let old = std::mem::take(v);
+            let mut sets = vec![PathSet::default(); new_n * new_n];
+            for (i, ps) in old.into_iter().enumerate() {
+                let (s, d) = (i / self.n, i % self.n);
+                sets[s * new_n + d] = ps;
+            }
+            *v = sets;
+        }
+        self.n = new_n;
+    }
+
+    /// Drops every stored path that crosses an edge absent from
+    /// `graph`, returning the affected pairs sorted by `(s, d)`.
+    ///
+    /// Incremental expansion removes the spliced cables from the old
+    /// fabric; this masks exactly the paths that used them (endpoints
+    /// must still exist — expansion only adds switches). The
+    /// affected-pair list feeds [`PathTable::recompute_on`], mirroring
+    /// the `apply_faults` → `repair` flow.
+    pub fn mask_missing_edges(&mut self, graph: &Graph) -> Vec<(NodeId, NodeId)> {
+        let n = self.n;
+        let mut affected = Vec::new();
+        let mut mask_set = |s: NodeId, d: NodeId, ps: &mut PathSet| {
+            if ps.is_empty() {
+                return;
+            }
+            let live: Vec<Path> =
+                ps.iter().filter(|p| p.windows(2).all(|w| graph.has_edge(w[0], w[1]))).collect();
+            if live.len() < ps.len() {
+                *ps = PathSet::from_paths(&live);
+                affected.push((s, d));
+            }
+        };
+        match &mut self.storage {
+            Storage::Dense(v) => {
+                for (i, ps) in v.iter_mut().enumerate() {
+                    mask_set((i / n) as NodeId, (i % n) as NodeId, ps);
+                }
+            }
+            Storage::Sparse(m) => {
+                let mut keys: Vec<u64> = m.keys().copied().collect();
+                keys.sort_unstable();
+                for key in keys {
+                    let ps = m.get_mut(&key).unwrap();
+                    mask_set((key >> 32) as NodeId, key as u32, ps);
+                }
+            }
+        }
+        self.max_hops = match &self.storage {
+            Storage::Dense(v) => v.iter().map(PathSet::max_hops).max().unwrap_or(0),
+            Storage::Sparse(m) => m.values().map(PathSet::max_hops).max().unwrap_or(0),
+        };
+        affected
+    }
+
+    /// Incrementally repairs an **all-pairs** table after the fabric
+    /// was grown by [`expand_rrg`](jellyfish_topology::expand_rrg):
+    /// widens the table to the new switch count, drops paths that
+    /// crossed recabled (removed) links, and recomputes only the
+    /// affected pairs plus the pairs touching the new switches —
+    /// everything else keeps its existing routes.
+    ///
+    /// `graph` is the expanded fabric; `seed` feeds the per-pair
+    /// recompute exactly like [`PathTable::compute`]. The returned
+    /// [`ExpandRepair`] counts the work done; compare against a fresh
+    /// rebuild with [`shortest_hop_drift`] to quantify the path-quality
+    /// cost of repairing in place.
+    ///
+    /// # Panics
+    /// Panics on sparse (explicit-pair) tables — they carry no record
+    /// of which new pairs should exist — or when `graph` is smaller
+    /// than the table.
+    pub fn expand_to(&mut self, graph: &Graph, seed: u64) -> ExpandRepair {
+        let _span = jellyfish_obs::span("routing.table.expand");
+        assert!(matches!(self.storage, Storage::Dense(_)), "expand_to requires an all-pairs table");
+        let old_n = self.n;
+        let new_n = graph.num_nodes();
+        self.grow(new_n);
+        let mut pairs = self.mask_missing_edges(graph);
+        let masked_pairs = pairs.len();
+        // Pairs that gained coverage: either endpoint is a new switch.
+        for s in 0..new_n as NodeId {
+            for d in 0..new_n as NodeId {
+                if s != d && (s as usize >= old_n || d as usize >= old_n) {
+                    pairs.push((s, d));
+                }
+            }
+        }
+        let new_pairs = pairs.len() - masked_pairs;
+        let reconnected = self.recompute_on(graph, &pairs, seed);
+        ExpandRepair { masked_pairs, new_pairs, reconnected }
+    }
+}
+
+/// Work accounting from [`PathTable::expand_to`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpandRepair {
+    /// Existing pairs that lost at least one path to recabling and
+    /// were recomputed.
+    pub masked_pairs: usize,
+    /// Pairs involving the newly added switches (all recomputed).
+    pub new_pairs: usize,
+    /// Recomputed pairs that ended up with at least one path — equal
+    /// to `masked_pairs + new_pairs` on a connected expanded fabric.
+    pub reconnected: usize,
+}
+
+/// Per-pair shortest-hop comparison of an incrementally expanded table
+/// against a fresh rebuild on the same fabric.
+///
+/// `delta = expanded − fresh` per ordered pair; positive deltas mean
+/// the in-place repair kept a longer route than a rebuild would find
+/// (pairs untouched by the repair never learn about shortcuts through
+/// the new switches). `max_delta` is the drift bound `jellytool
+/// expand` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftReport {
+    /// Ordered pairs compared (pairs with paths in both tables).
+    pub pairs: usize,
+    /// Pairs whose shortest hop count differs.
+    pub changed: usize,
+    /// Largest `expanded − fresh` shortest-hop delta (0 when the
+    /// tables agree everywhere).
+    pub max_delta: i64,
+    /// Mean `expanded − fresh` delta over all compared pairs.
+    pub mean_delta: f64,
+}
+
+/// Computes the [`DriftReport`] between an incrementally expanded
+/// table and a fresh rebuild.
+///
+/// # Panics
+/// Panics if the tables disagree on which pairs are routable — an
+/// expansion repair bug, not a drift.
+pub fn shortest_hop_drift(expanded: &PathTable, fresh: &PathTable) -> DriftReport {
+    let mut pairs = 0usize;
+    let mut changed = 0usize;
+    let mut max_delta = i64::MIN;
+    let mut sum_delta = 0i64;
+    for (s, d, fresh_ps) in fresh.entries() {
+        let exp_ps = expanded
+            .get(s, d)
+            .filter(|ps| !ps.is_empty())
+            .unwrap_or_else(|| panic!("pair ({s},{d}) routable in fresh table only"));
+        let fh = fresh_ps.hops(fresh_ps.shortest_index()) as i64;
+        let eh = exp_ps.hops(exp_ps.shortest_index()) as i64;
+        let delta = eh - fh;
+        pairs += 1;
+        if delta != 0 {
+            changed += 1;
+        }
+        max_delta = max_delta.max(delta);
+        sum_delta += delta;
+    }
+    DriftReport {
+        pairs,
+        changed,
+        max_delta: if pairs == 0 { 0 } else { max_delta },
+        mean_delta: if pairs == 0 { 0.0 } else { sum_delta as f64 / pairs as f64 },
     }
 }
 
@@ -660,6 +1131,11 @@ mod tests {
         assert_eq!(ps.hops(1), 3);
         assert_eq!(ps.max_hops(), 3);
         assert_eq!(ps.iter().count(), 2);
+        let mut buf = vec![99; 8];
+        ps.path_into(1, &mut buf);
+        assert_eq!(buf, &[0, 3, 4, 2]);
+        ps.path_into(0, &mut buf);
+        assert_eq!(buf, &[0, 1, 2]);
     }
 
     #[test]
@@ -667,6 +1143,56 @@ mod tests {
         let ps = PathSet::default();
         assert!(ps.is_empty());
         assert_eq!(ps.max_hops(), 0);
+        assert_eq!(ps.encoded_len(), 0);
+        assert_eq!(ps, PathSet::from_paths(&[]));
+    }
+
+    #[test]
+    fn pathset_encoding_is_canonical_and_compact() {
+        // Shared prefixes are delta-encoded: the second path repeats
+        // only its deviation, so the buffer stays near the deviation
+        // size, not the concatenated size.
+        let long: Vec<NodeId> = (0..20).collect();
+        let mut deviated = long.clone();
+        deviated[19] = 90;
+        let ps = PathSet::from_paths(&[long.clone(), deviated.clone()]);
+        assert!(
+            ps.encoded_len() < 2 * long.len(),
+            "shared prefix not compressed: {} bytes",
+            ps.encoded_len()
+        );
+        assert_eq!(ps.path(0), long);
+        assert_eq!(ps.path(1), deviated);
+        // Equality is path-list equality: two construction orders of
+        // the same list encode to identical bytes.
+        let again = PathSet::from_paths(&ps.iter().collect::<Vec<_>>());
+        assert_eq!(ps, again);
+        // Large node ids survive the varint round trip.
+        let big = PathSet::from_paths(&[vec![0, u32::MAX - 1, 1 << 20, 5]]);
+        assert_eq!(big.path(0), &[0, u32::MAX - 1, 1 << 20, 5]);
+    }
+
+    #[test]
+    fn pathset_decode_rejects_malformed_buffers() {
+        let ps = PathSet::from_paths(&[vec![0, 1, 2], vec![0, 1, 3]]);
+        let good = PathSet::decode_paths(ps.encoded()).unwrap();
+        assert_eq!(good, vec![vec![0, 1, 2], vec![0, 1, 3]]);
+        assert!(PathSet::decode_paths(&[]).unwrap().is_empty());
+        // Every truncation of a valid buffer is rejected.
+        for cut in 1..ps.encoded_len() {
+            assert!(
+                PathSet::decode_paths(&ps.encoded()[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        // Trailing garbage, zero count, and an impossible shared prefix
+        // are all structural errors, not panics.
+        let mut trailing = ps.encoded().to_vec();
+        trailing.push(0);
+        assert!(PathSet::decode_paths(&trailing).is_err());
+        assert!(PathSet::decode_paths(&[0]).is_err(), "count 0 must be the empty buffer");
+        // count=1, len=2, shared=1 (> previous path's length 0).
+        assert!(PathSet::decode_paths(&[1, 2, 1, 7]).is_err());
     }
 
     #[test]
@@ -829,7 +1355,7 @@ mod tests {
             report.affected_pairs().into_iter().collect();
         for (s, d, ps) in t.entries() {
             for p in ps.iter() {
-                assert!(view.path_is_live(p), "{s}->{d} kept a dead path");
+                assert!(view.path_is_live(&p), "{s}->{d} kept a dead path");
             }
             if !affected.contains(&(s, d)) {
                 assert_eq!(Some(ps), pristine.get(s, d));
@@ -865,7 +1391,7 @@ mod tests {
             let ps = t.get(p.src, p.dst).unwrap();
             assert_eq!(ps.len(), 4, "{}->{} not repaired", p.src, p.dst);
             for path in ps.iter() {
-                assert!(view.path_is_live(path), "repair produced a dead path");
+                assert!(view.path_is_live(&path), "repair produced a dead path");
             }
         }
     }
@@ -919,7 +1445,7 @@ mod tests {
         assert_eq!(t.num_pairs(), 4, "repair must not change pair coverage");
         for (_, _, ps) in t.entries() {
             for path in ps.iter() {
-                assert!(view.path_is_live(path));
+                assert!(view.path_is_live(&path));
             }
         }
     }
@@ -945,5 +1471,63 @@ mod tests {
         let reconnected = t.repair(&view, &report.affected_pairs(), 0);
         assert!(t.get(5, 1).unwrap().is_empty());
         assert!(reconnected < report.affected.len());
+    }
+
+    #[test]
+    fn expand_to_repairs_in_place_and_reports_drift() {
+        use jellyfish_topology::expand_rrg;
+        let params = RrgParams::new(16, 8, 5);
+        let g = build_rrg(params, ConstructionMethod::Incremental, 9).unwrap();
+        let sel = PathSelection::REdKsp(4);
+        let mut table = PathTable::compute(&g, sel, &PairSet::AllPairs, 3);
+        let exp = expand_rrg(&g, params, 2, 21).unwrap();
+        let report = table.expand_to(&exp.graph, 3);
+        let new_n = exp.graph.num_nodes();
+        // Every pair touching the two new switches is covered: 2 new
+        // switches × (new_n - 1) peers × 2 directions, minus the
+        // double-counted new-new pairs.
+        assert_eq!(report.new_pairs, 2 * 2 * (new_n - 1) - 2);
+        assert_eq!(report.reconnected, report.masked_pairs + report.new_pairs);
+        // Every ordered pair routes, and every route is live on the
+        // expanded fabric.
+        for s in 0..new_n as NodeId {
+            for d in 0..new_n as NodeId {
+                if s == d {
+                    continue;
+                }
+                let ps = table.get(s, d).unwrap();
+                assert!(!ps.is_empty(), "pair ({s},{d}) lost coverage");
+                for path in ps.iter() {
+                    assert_eq!(path[0], s);
+                    assert_eq!(*path.last().unwrap(), d);
+                    assert!(path.windows(2).all(|w| exp.graph.has_edge(w[0], w[1])));
+                }
+            }
+        }
+        // Drift vs a fresh rebuild is one-sided: in-place repair never
+        // finds shorter routes than a rebuild, only equal or longer.
+        let fresh = PathTable::compute(&exp.graph, sel, &PairSet::AllPairs, 3);
+        let drift = shortest_hop_drift(&table, &fresh);
+        assert_eq!(drift.pairs, new_n * (new_n - 1));
+        assert!(drift.max_delta >= 0);
+        assert!(drift.mean_delta >= 0.0);
+        // Recomputed pairs match the rebuild exactly (same seed, same
+        // per-pair engine): drift can only come from untouched pairs.
+        for s in 16..new_n as NodeId {
+            for d in 0..new_n as NodeId {
+                if s != d {
+                    assert_eq!(table.get(s, d), fresh.get(s, d), "recomputed pair ({s},{d})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-pairs")]
+    fn expand_to_rejects_sparse_tables() {
+        let g = small_graph();
+        let pairs = PairSet::Pairs(vec![(0, 1)]);
+        let mut t = PathTable::compute(&g, PathSelection::SinglePath, &pairs, 0);
+        t.expand_to(&g, 0);
     }
 }

@@ -1,0 +1,330 @@
+//! Incremental Jellyfish expansion: grow a live RRG by adding switches
+//! with bounded recabling.
+//!
+//! This is the headline operational scenario of the Jellyfish paper
+//! (Singla et al., NSDI'12 §2): to add a switch `u` to a running
+//! `y`-regular fabric, pick `⌊y/2⌋` random existing links `(a, b)`,
+//! unplug each and plug both ends into `u` — removing one link and
+//! adding two (`(u, a)`, `(u, b)`) per splice, which consumes two of
+//! `u`'s network ports and leaves every existing switch at degree `y`.
+//! For odd `y`, each new switch is left with one free port; those are
+//! paired among the new switches themselves (splicing into an existing
+//! link when two leftover switches are already adjacent).
+//!
+//! Splicing preserves connectivity (the removed link `(a, b)` is
+//! re-routed through `u`), so the expanded fabric is connected and
+//! `y`-regular by construction; both properties are still verified
+//! before returning. The whole procedure is seeded and deterministic,
+//! and retries with derived seeds (the same [`MAX_BUILD_ATTEMPTS`]
+//! budget as [`build_rrg`]) in the rare event a splice runs out of
+//! candidate links.
+
+use crate::graph::{Graph, NodeId};
+use crate::rrg::{RrgError, RrgParams, MAX_BUILD_ATTEMPTS};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Result of [`expand_rrg`]: the grown graph plus the net recabling it
+/// took to get there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expansion {
+    /// The expanded, connected, `y`-regular graph on
+    /// `params.switches` nodes.
+    pub graph: Graph,
+    /// Parameters of the expanded fabric (`switches` grew; ports per
+    /// switch are unchanged).
+    pub params: RrgParams,
+    /// Links of the *original* graph that must be unplugged, sorted.
+    /// Intermediate links added and then re-spliced within the same
+    /// expansion are netted out.
+    pub removed_edges: Vec<(NodeId, NodeId)>,
+    /// Links absent from the original graph that must be plugged in,
+    /// sorted.
+    pub added_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Expansion {
+    /// Total cabling operations: links to unplug plus links to plug in.
+    pub fn recabling_ops(&self) -> usize {
+        self.removed_edges.len() + self.added_edges.len()
+    }
+}
+
+/// Working adjacency + edge list during expansion.
+struct Working {
+    adj: Vec<Vec<NodeId>>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Working {
+    fn from_graph(graph: &Graph, new_n: usize) -> Self {
+        let mut adj = vec![Vec::new(); new_n];
+        let mut edges = Vec::with_capacity(graph.num_edges() + new_n);
+        for (u, v) in graph.edges() {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+            edges.push((u, v));
+        }
+        Self { adj, edges }
+    }
+
+    fn connected(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u as usize].contains(&v)
+    }
+
+    fn add(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!(u != v && !self.connected(u, v));
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+        self.edges.push((u.min(v), u.max(v)));
+    }
+
+    /// Removes the edge at `edges[idx]` from both structures.
+    fn remove_at(&mut self, idx: usize) -> (NodeId, NodeId) {
+        let (a, b) = self.edges.swap_remove(idx);
+        let pa = self.adj[a as usize].iter().position(|&x| x == b).expect("edge present");
+        self.adj[a as usize].swap_remove(pa);
+        let pb = self.adj[b as usize].iter().position(|&x| x == a).expect("edge present");
+        self.adj[b as usize].swap_remove(pb);
+        (a, b)
+    }
+
+    /// Splices node `u` into the edge at `edges[idx]`: `(a, b)` becomes
+    /// `(u, a)`, `(u, b)`.
+    fn splice(&mut self, u: NodeId, idx: usize) -> (NodeId, NodeId) {
+        let (a, b) = self.remove_at(idx);
+        self.add(u, a);
+        self.add(u, b);
+        (a, b)
+    }
+
+    /// A random edge whose endpoints are both splicable onto `u`
+    /// (neither is `u` nor already adjacent to it). Random draws first,
+    /// exhaustive scan as a fallback so "no candidate" is definitive.
+    fn pick_splice(&self, u: NodeId, rng: &mut StdRng) -> Option<usize> {
+        for _ in 0..64 {
+            let idx = rng.random_range(0..self.edges.len());
+            let (a, b) = self.edges[idx];
+            if a != u && b != u && !self.connected(u, a) && !self.connected(u, b) {
+                return Some(idx);
+            }
+        }
+        self.edges
+            .iter()
+            .position(|&(a, b)| a != u && b != u && !self.connected(u, a) && !self.connected(u, b))
+    }
+}
+
+/// Grows the `y`-regular fabric `graph` (built for `params`) by `add`
+/// switches, splicing each new switch into random existing links.
+///
+/// Returns the expanded graph and the net recabling. Deterministic per
+/// `seed`; independent of the seed the original graph was built with.
+///
+/// # Errors
+/// - [`RrgError::Invalid`] when the expanded parameter set cannot be a
+///   simple connected `y`-regular graph (including `add == 0`).
+/// - [`RrgError::Failed`] when every seeded attempt ran out of splice
+///   candidates (practically unreachable for `N ≫ y`).
+///
+/// # Panics
+/// Panics if `graph` does not match `params` (wrong node count or not
+/// `y`-regular).
+pub fn expand_rrg(
+    graph: &Graph,
+    params: RrgParams,
+    add: usize,
+    seed: u64,
+) -> Result<Expansion, RrgError> {
+    let y = params.network_ports;
+    assert_eq!(graph.num_nodes(), params.switches, "graph/params mismatch");
+    assert!(graph.is_regular(y), "expansion requires a y-regular fabric");
+    if add == 0 {
+        return Err(RrgError::Invalid("expansion must add at least one switch"));
+    }
+    let new_params = RrgParams { switches: params.switches + add, ..params };
+    new_params.validate()?;
+    if !graph.is_connected() {
+        return Err(RrgError::Invalid("cannot expand a disconnected fabric"));
+    }
+
+    let old_n = params.switches;
+    let new_n = new_params.switches;
+    for attempt in 0..MAX_BUILD_ATTEMPTS {
+        let s = seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(s);
+        if let Some(exp) = try_expand(graph, new_params, old_n, new_n, &mut rng) {
+            return Ok(exp);
+        }
+    }
+    Err(RrgError::Failed { attempts: MAX_BUILD_ATTEMPTS })
+}
+
+fn try_expand(
+    graph: &Graph,
+    new_params: RrgParams,
+    old_n: usize,
+    new_n: usize,
+    rng: &mut StdRng,
+) -> Option<Expansion> {
+    let y = new_params.network_ports;
+    let mut w = Working::from_graph(graph, new_n);
+    let mut removed: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut added: Vec<(NodeId, NodeId)> = Vec::new();
+
+    // Each new switch claims ⌊y/2⌋ random links.
+    for u in old_n as NodeId..new_n as NodeId {
+        for _ in 0..y / 2 {
+            let idx = w.pick_splice(u, rng)?;
+            let (a, b) = w.splice(u, idx);
+            removed.push((a.min(b), a.max(b)));
+            added.push((u.min(a), u.max(a)));
+            added.push((u.min(b), u.max(b)));
+        }
+    }
+
+    // Odd y: every new switch still holds one free port. Pair them
+    // among the new switches (shuffled), splicing into an existing link
+    // when a pair is already adjacent.
+    if y % 2 == 1 {
+        let mut leftover: Vec<NodeId> = (old_n as NodeId..new_n as NodeId).collect();
+        leftover.shuffle(rng);
+        for pair in leftover.chunks_exact(2) {
+            let (p, q) = (pair[0], pair[1]);
+            if !w.connected(p, q) {
+                w.add(p, q);
+                added.push((p.min(q), p.max(q)));
+            } else {
+                // Replace some link (a, b) with (p, a), (q, b).
+                let idx = w.edges.iter().position(|&(a, b)| {
+                    a != p && a != q && b != p && b != q && !w.connected(p, a) && !w.connected(q, b)
+                })?;
+                let (a, b) = w.remove_at(idx);
+                w.add(p, a);
+                w.add(q, b);
+                removed.push((a.min(b), a.max(b)));
+                added.push((p.min(a), p.max(a)));
+                added.push((q.min(b), q.max(b)));
+            }
+        }
+    }
+
+    if w.adj.iter().any(|nbrs| nbrs.len() != y) {
+        return None;
+    }
+    let expanded = Graph::from_edges(new_n, &w.edges);
+    if !expanded.is_connected() {
+        return None;
+    }
+
+    // Net out links that were added and later re-spliced away within
+    // this same expansion: the operator only cares about the diff
+    // against the original fabric.
+    let removed_set: HashSet<(NodeId, NodeId)> = removed.into_iter().collect();
+    let added_set: HashSet<(NodeId, NodeId)> = added.into_iter().collect();
+    let mut removed_edges: Vec<(NodeId, NodeId)> =
+        removed_set.difference(&added_set).copied().collect();
+    let mut added_edges: Vec<(NodeId, NodeId)> =
+        added_set.difference(&removed_set).copied().collect();
+    // An added edge may itself have been removed by a later splice:
+    // keep only edges actually present in exactly one of the graphs.
+    let in_original =
+        |a: NodeId, b: NodeId| (a as usize) < old_n && (b as usize) < old_n && graph.has_edge(a, b);
+    removed_edges.retain(|&(a, b)| !expanded.has_edge(a, b));
+    added_edges.retain(|&(a, b)| !in_original(a, b));
+    removed_edges.sort_unstable();
+    added_edges.sort_unstable();
+
+    Some(Expansion { graph: expanded, params: new_params, removed_edges, added_edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rrg::{build_rrg, ConstructionMethod};
+
+    fn fabric(n: usize, y: usize, seed: u64) -> (Graph, RrgParams) {
+        let p = RrgParams::new(n, y + 5, y);
+        (build_rrg(p, ConstructionMethod::Incremental, seed).unwrap(), p)
+    }
+
+    #[test]
+    fn expansion_keeps_the_fabric_regular_and_connected() {
+        for (n, y, add) in [(16, 4, 1), (16, 4, 3), (20, 6, 5), (12, 3, 2)] {
+            let (g, p) = fabric(n, y, 7);
+            let exp = expand_rrg(&g, p, add, 11).unwrap();
+            assert_eq!(exp.graph.num_nodes(), n + add);
+            assert!(exp.graph.is_regular(y), "N={n} y={y} add={add} not regular");
+            assert!(exp.graph.is_connected());
+            assert_eq!(exp.params.switches, n + add);
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_per_seed() {
+        let (g, p) = fabric(16, 4, 3);
+        let a = expand_rrg(&g, p, 2, 5).unwrap();
+        let b = expand_rrg(&g, p, 2, 5).unwrap();
+        assert_eq!(a, b);
+        let c = expand_rrg(&g, p, 2, 6).unwrap();
+        assert_ne!(a.graph, c.graph, "different seeds should recable differently");
+    }
+
+    #[test]
+    fn recabling_diff_is_exact() {
+        let (g, p) = fabric(18, 4, 1);
+        let exp = expand_rrg(&g, p, 2, 9).unwrap();
+        // Removed ⊆ original, gone from the result; added ⊆ result,
+        // absent from the original.
+        for &(a, b) in &exp.removed_edges {
+            assert!(g.has_edge(a, b) && !exp.graph.has_edge(a, b));
+        }
+        for &(a, b) in &exp.added_edges {
+            assert!(!g.has_edge(a, b) && exp.graph.has_edge(a, b));
+        }
+        // The diff is complete: original minus removed plus added is
+        // exactly the expanded edge set.
+        let mut want: std::collections::BTreeSet<(NodeId, NodeId)> =
+            g.edges().map(|(u, v)| (u.min(v), u.max(v))).collect();
+        for e in &exp.removed_edges {
+            assert!(want.remove(e));
+        }
+        for &e in &exp.added_edges {
+            assert!(want.insert(e));
+        }
+        let got: std::collections::BTreeSet<(NodeId, NodeId)> =
+            exp.graph.edges().map(|(u, v)| (u.min(v), u.max(v))).collect();
+        assert_eq!(want, got);
+        // Even y: each new switch costs exactly ⌊y/2⌋ unplugs.
+        assert_eq!(exp.recabling_ops(), exp.removed_edges.len() + exp.added_edges.len());
+    }
+
+    #[test]
+    fn bounded_recabling_even_y() {
+        // Each new switch splices ⌊y/2⌋ links: at most ⌊y/2⌋ removals
+        // and y additions per switch, regardless of fabric size.
+        let (g, p) = fabric(24, 6, 2);
+        let add = 3;
+        let exp = expand_rrg(&g, p, add, 4).unwrap();
+        assert!(exp.removed_edges.len() <= add * (p.network_ports / 2));
+        assert!(exp.added_edges.len() <= add * p.network_ports);
+    }
+
+    #[test]
+    fn invalid_expansions_are_rejected() {
+        let (g, p) = fabric(16, 4, 3);
+        assert!(matches!(expand_rrg(&g, p, 0, 1), Err(RrgError::Invalid(_))));
+        // Odd y with odd add makes (N + add) * y odd.
+        let (g3, p3) = fabric(12, 3, 2);
+        assert!(matches!(expand_rrg(&g3, p3, 1, 1), Err(RrgError::Invalid(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "y-regular")]
+    fn irregular_fabric_is_rejected() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let _ = expand_rrg(&g, RrgParams::new(4, 6, 2), 2, 0);
+    }
+}

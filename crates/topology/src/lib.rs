@@ -29,6 +29,7 @@
 //! reproduction is deterministic.
 
 pub mod analysis;
+pub mod expand;
 pub mod fattree;
 pub mod fault;
 pub mod graph;
@@ -38,8 +39,9 @@ pub mod rrg;
 pub use analysis::{
     distance_histogram, estimate_bisection, to_dot, BisectionEstimate, DistanceHistogram,
 };
+pub use expand::{expand_rrg, Expansion};
 pub use fattree::{build_fat_tree, FatTreeParams};
 pub use fault::{read_plan, write_plan, DegradedGraph, FaultEvent, FaultKind, FaultPlan};
 pub use graph::{Graph, GraphBuilder, LinkId, NodeId};
 pub use metrics::{average_shortest_path_length, diameter, TopologyStats};
-pub use rrg::{build_rrg, ConstructionMethod, RrgError, RrgParams};
+pub use rrg::{build_rrg, ConstructionMethod, RrgError, RrgParams, MAX_BUILD_ATTEMPTS};

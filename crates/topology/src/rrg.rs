@@ -114,35 +114,50 @@ pub enum ConstructionMethod {
 pub enum RrgError {
     /// The parameter combination cannot yield a simple regular graph.
     Invalid(&'static str),
-    /// Construction failed to converge after many retries (should not
-    /// happen for practical Jellyfish parameters).
-    Failed,
+    /// Construction failed to converge: every attempt sampled a
+    /// disconnected graph or stalled in a repair loop (should not happen
+    /// for practical Jellyfish parameters). `attempts` is the number of
+    /// full constructions tried before giving up —
+    /// [`MAX_BUILD_ATTEMPTS`] unless validation cut the budget short.
+    Failed {
+        /// Full construction attempts consumed.
+        attempts: u64,
+    },
 }
 
 impl std::fmt::Display for RrgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RrgError::Invalid(msg) => write!(f, "invalid RRG parameters: {msg}"),
-            RrgError::Failed => write!(f, "RRG construction failed to converge"),
+            RrgError::Failed { attempts } => {
+                write!(f, "RRG construction failed to converge after {attempts} attempts")
+            }
         }
     }
 }
 
 impl std::error::Error for RrgError {}
 
+/// Hard cap on full-construction retries in [`build_rrg`]: each retry
+/// resamples the whole graph from a derived seed, so near the
+/// connectivity threshold (large sparse `N`, small `y`) an unbounded
+/// loop could spin for minutes with no signal. Exhausting the budget
+/// reports [`RrgError::Failed`] with the attempt count instead.
+pub const MAX_BUILD_ATTEMPTS: u64 = 64;
+
 /// Builds a connected `y`-regular random graph for `params` with the given
 /// `seed` and construction `method`.
 ///
-/// Retries with derived seeds (up to 64 attempts) if a sample is
-/// disconnected or a repair loop stalls; for the paper's topologies the
-/// first attempt virtually always succeeds.
+/// Retries with derived seeds (up to [`MAX_BUILD_ATTEMPTS`]) if a sample
+/// is disconnected or a repair loop stalls; for the paper's topologies
+/// the first attempt virtually always succeeds.
 pub fn build_rrg(
     params: RrgParams,
     method: ConstructionMethod,
     seed: u64,
 ) -> Result<Graph, RrgError> {
     params.validate()?;
-    for attempt in 0..64u64 {
+    for attempt in 0..MAX_BUILD_ATTEMPTS {
         // Mix the attempt into the seed; `wrapping_mul` with an odd constant
         // keeps derived seeds well-separated.
         let s = seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -158,7 +173,7 @@ pub fn build_rrg(
             }
         }
     }
-    Err(RrgError::Failed)
+    Err(RrgError::Failed { attempts: MAX_BUILD_ATTEMPTS })
 }
 
 /// Working adjacency during construction: unsorted neighbor lists.
@@ -456,6 +471,23 @@ mod tests {
         let g = build_rrg(p, ConstructionMethod::Incremental, 0).unwrap();
         assert!(g.is_regular(5));
         assert_eq!(g.num_edges(), 15);
+    }
+
+    #[test]
+    fn hopeless_parameters_fail_bounded_with_attempt_count() {
+        // RRG(4, y=1) is always a perfect matching — two components, no
+        // repair possible — so every attempt samples a disconnected
+        // graph. The loop must terminate deterministically at the budget
+        // and report how many constructions it burned, instead of
+        // spinning or failing silently.
+        let p = RrgParams::new(4, 2, 1);
+        for method in [ConstructionMethod::Incremental, ConstructionMethod::PairingModel] {
+            for seed in [0, 1, 0xDEAD] {
+                let err = build_rrg(p, method, seed).unwrap_err();
+                assert_eq!(err, RrgError::Failed { attempts: MAX_BUILD_ATTEMPTS });
+                assert!(err.to_string().contains("64 attempts"), "diagnostic: {err}");
+            }
+        }
     }
 
     #[test]

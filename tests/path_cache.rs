@@ -104,8 +104,8 @@ proptest! {
         for &(s, d) in &affected {
             // Oracle: the allocating per-pair API, fresh arenas per call.
             let oracle = sel.paths_for_pair(&degraded, s, d, repair_seed);
-            let got: Vec<&[u32]> = table.get(s, d).unwrap().iter().collect();
-            let want: Vec<&[u32]> = oracle.iter().map(|p| p.as_slice()).collect();
+            let got: Vec<Vec<u32>> = table.get(s, d).unwrap().iter().collect();
+            let want: Vec<Vec<u32>> = oracle.clone();
             prop_assert_eq!(got, want, "repair diverged for {} pair ({s},{d})", sel.name());
         }
     }

@@ -250,7 +250,7 @@ mod fault_invariants {
                     let Some(ps) = table.get(s, d) else { continue };
                     for i in 0..ps.len() {
                         prop_assert!(
-                            view.path_is_live(ps.path(i)),
+                            view.path_is_live(&ps.path(i)),
                             "masked table returned dead path {s}->{d}"
                         );
                     }
@@ -263,11 +263,105 @@ mod fault_invariants {
                     let Some(ps) = table.get(s, d) else { continue };
                     for i in 0..ps.len() {
                         prop_assert!(
-                            view.path_is_live(ps.path(i)),
+                            view.path_is_live(&ps.path(i)),
                             "repaired table returned dead path {s}->{d}"
                         );
                     }
                 }
+            }
+        }
+    }
+}
+
+/// Incremental-expansion invariants: growing a live fabric and
+/// repairing the table in place must leave every pair routable with
+/// live, well-formed routes, and the in-place table may only drift
+/// *longer* than a fresh rebuild — never shorter, and never beyond the
+/// drift bound that `jellytool expand` reports.
+mod expansion_invariants {
+    use super::*;
+    use jellyfish_routing::shortest_hop_drift;
+    use jellyfish_topology::expand_rrg;
+
+    /// Expandable fabrics: enough headroom over the degree for
+    /// splicing, plus an `add` that keeps `(N + add) * y` even.
+    fn expandable_params() -> impl Strategy<Value = (RrgParams, u64, usize)> {
+        (rrg_params(), 1usize..4).prop_filter_map(
+            "expandable RRG parameters",
+            |((params, seed), add)| {
+                if params.switches < 2 * params.network_ports + 2 {
+                    return None;
+                }
+                // Odd y needs an even add; bump instead of discarding.
+                let add = if (params.switches + add) * params.network_ports % 2 == 0 {
+                    add
+                } else {
+                    add + 1
+                };
+                Some((params, seed, add))
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn expansion_then_repair_matches_fresh_rebuild_within_drift(
+            (params, seed, add) in expandable_params(),
+            k in 1usize..4,
+            scheme_idx in 0usize..4,
+            expand_seed in any::<u64>(),
+        ) {
+            let sel = match scheme_idx {
+                0 => PathSelection::Ksp(k),
+                1 => PathSelection::RKsp(k),
+                2 => PathSelection::EdKsp(k),
+                _ => PathSelection::REdKsp(k),
+            };
+            let g = build_rrg(params, ConstructionMethod::Incremental, seed).unwrap();
+            let mut table = PathTable::compute(&g, sel, &PairSet::AllPairs, seed);
+            let exp = expand_rrg(&g, params, add, expand_seed).unwrap();
+            let report = table.expand_to(&exp.graph, seed);
+            let new_n = exp.graph.num_nodes();
+            prop_assert_eq!(report.reconnected, report.masked_pairs + report.new_pairs);
+            // Every ordered pair has at least one live, well-formed path.
+            for s in 0..new_n as u32 {
+                for d in 0..new_n as u32 {
+                    if s == d { continue; }
+                    let ps = table.get(s, d).expect("all-pairs coverage");
+                    prop_assert!(!ps.is_empty(), "pair ({s},{d}) unroutable after expansion");
+                    for path in ps.iter() {
+                        prop_assert_eq!(path[0], s);
+                        prop_assert_eq!(*path.last().unwrap(), d);
+                        prop_assert!(
+                            path.windows(2).all(|w| exp.graph.has_edge(w[0], w[1])),
+                            "dead or phantom edge in path for ({s},{d})"
+                        );
+                    }
+                }
+            }
+            // Differential vs fresh rebuild: per-pair shortest-hop
+            // deltas are bounded by the reported drift, and in-place
+            // repair is never *shorter* than the rebuild for the
+            // shortest-path-seeded schemes.
+            let fresh = PathTable::compute(&exp.graph, sel, &PairSet::AllPairs, seed);
+            let drift = shortest_hop_drift(&table, &fresh);
+            prop_assert_eq!(drift.pairs, new_n * (new_n - 1));
+            for (s, d, fresh_ps) in fresh.entries() {
+                let exp_ps = table.get(s, d).unwrap();
+                let fh = fresh_ps.hops(fresh_ps.shortest_index()) as i64;
+                let eh = exp_ps.hops(exp_ps.shortest_index()) as i64;
+                prop_assert!(
+                    eh - fh <= drift.max_delta,
+                    "pair ({s},{d}) drifted {} > reported bound {}",
+                    eh - fh,
+                    drift.max_delta
+                );
+                prop_assert!(
+                    eh >= fh,
+                    "in-place repair found a shorter route ({eh} < {fh}) for ({s},{d})"
+                );
             }
         }
     }

@@ -1,15 +1,23 @@
-//! Golden-fixture tests for the `jellyfish-ptab v1` binary format.
+//! Golden-fixture tests for the `jellyfish-ptab` binary format.
 //!
-//! `tests/fixtures/ptab_v1.bin` is a committed encoding of a table
-//! computed on a hand-built (RNG-free) graph. The byte-equality test
-//! makes any change to the wire format — field order, widths, sorting,
-//! checksum — fail loudly instead of silently invalidating caches; the
-//! negative tests pin the strict-rejection contract: truncated, corrupt
-//! or version-skewed files must error (never panic, never best-effort
-//! parse).
+//! Two committed fixtures encode the same table on a hand-built
+//! (RNG-free) graph:
 //!
-//! To regenerate after an *intentional* format change (bump `VERSION`
-//! first):
+//! - `tests/fixtures/ptab_v2.bin` — the current (v2, compact varint
+//!   entries) format. The byte-equality test makes any change to the
+//!   wire format — field order, widths, sorting, checksum — fail loudly
+//!   instead of silently invalidating caches.
+//! - `tests/fixtures/ptab_v1.bin` — a v1 (fixed-width u32 entries) file
+//!   written by the PR 3 encoder. It is never regenerated: it pins the
+//!   read-compat promise that caches written before the v2 bump keep
+//!   decoding to the identical table.
+//!
+//! The negative tests pin the strict-rejection contract: truncated,
+//! corrupt or version-skewed files must error (never panic, never
+//! best-effort parse).
+//!
+//! To regenerate the v2 fixture after an *intentional* format change
+//! (bump `VERSION` first):
 //!
 //! ```text
 //! cargo test --test ptab_fixtures regenerate -- --ignored
@@ -20,8 +28,8 @@ use jellyfish_routing::{PairSet, PathSelection, PathTable};
 use jellyfish_topology::Graph;
 use std::path::PathBuf;
 
-fn fixture_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ptab_v1.bin")
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
 }
 
 /// The paper's Figure 3 example network (S1, A–H, D1 as 0..=9): fixed
@@ -64,27 +72,30 @@ fn fixture_bytes() -> Vec<u8> {
     encode_table(&table, &key)
 }
 
-/// Run once (with `-- --ignored`) to (re)create the committed fixture.
+/// Run once (with `-- --ignored`) to (re)create the committed v2
+/// fixture. `ptab_v1.bin` is intentionally *not* regenerated — the
+/// current encoder can no longer produce it, and its whole point is to
+/// pin decoding of historical files.
 #[test]
 #[ignore = "regenerates the golden fixture; run explicitly after format changes"]
 fn regenerate() {
-    std::fs::write(fixture_path(), fixture_bytes()).unwrap();
+    std::fs::write(fixture_path("ptab_v2.bin"), fixture_bytes()).unwrap();
 }
 
 #[test]
 fn golden_bytes_are_stable() {
-    let golden = std::fs::read(fixture_path()).expect("committed fixture present");
+    let golden = std::fs::read(fixture_path("ptab_v2.bin")).expect("committed fixture present");
     assert_eq!(
         fixture_bytes(),
         golden,
-        "jellyfish-ptab v1 encoding changed; if intentional, bump the format \
+        "jellyfish-ptab v2 encoding changed; if intentional, bump the format \
          version and regenerate the fixture"
     );
 }
 
 #[test]
 fn golden_fixture_parses_back_to_the_table() {
-    let golden = std::fs::read(fixture_path()).expect("committed fixture present");
+    let golden = std::fs::read(fixture_path("ptab_v2.bin")).expect("committed fixture present");
     let (g, sel, pairs, seed) = fixture_inputs();
     let (key, table) = decode_table(&golden).expect("fixture must parse");
     assert_eq!(key, CacheKey::new(&g, sel, &pairs, seed));
@@ -97,48 +108,72 @@ fn golden_fixture_parses_back_to_the_table() {
     assert_eq!(decode_key(&golden).unwrap(), key);
 }
 
+/// Read-compat: a v1 file written before the compact-encoding bump
+/// decodes to the same key and the same table as the v2 encoding of the
+/// same inputs, while being strictly larger on disk.
+#[test]
+fn v1_fixture_decodes_to_the_same_table() {
+    let v1 = std::fs::read(fixture_path("ptab_v1.bin")).expect("committed fixture present");
+    let (g, sel, pairs, seed) = fixture_inputs();
+    let (key, table) = decode_table(&v1).expect("v1 fixture must keep parsing");
+    assert_eq!(key, CacheKey::new(&g, sel, &pairs, seed));
+    assert_eq!(table, PathTable::compute(&g, sel, &pairs, seed));
+    assert_eq!(decode_key(&v1).unwrap(), key);
+    let v2 = std::fs::read(fixture_path("ptab_v2.bin")).expect("committed fixture present");
+    assert!(
+        v2.len() < v1.len(),
+        "compact v2 fixture ({}) must be smaller than v1 ({})",
+        v2.len(),
+        v1.len()
+    );
+}
+
 #[test]
 fn every_truncation_errors_instead_of_panicking() {
-    let golden = std::fs::read(fixture_path()).expect("committed fixture present");
-    for len in 0..golden.len() {
-        let r = decode_table(&golden[..len]);
-        assert!(r.is_err(), "truncation to {len} bytes must be rejected");
+    for name in ["ptab_v1.bin", "ptab_v2.bin"] {
+        let golden = std::fs::read(fixture_path(name)).expect("committed fixture present");
+        for len in 0..golden.len() {
+            let r = decode_table(&golden[..len]);
+            assert!(r.is_err(), "{name}: truncation to {len} bytes must be rejected");
+        }
     }
 }
 
 #[test]
 fn bad_magic_is_rejected() {
-    let mut bytes = std::fs::read(fixture_path()).unwrap();
+    let mut bytes = std::fs::read(fixture_path("ptab_v2.bin")).unwrap();
     bytes[0] = b'X';
     assert!(matches!(decode_table(&bytes), Err(CacheError::BadMagic)));
 }
 
 #[test]
 fn version_skew_is_rejected_before_checksum() {
-    let mut bytes = std::fs::read(fixture_path()).unwrap();
+    let mut bytes = std::fs::read(fixture_path("ptab_v2.bin")).unwrap();
     bytes[8] = 99; // version field (LE u32 after the 8-byte magic)
     assert!(matches!(decode_table(&bytes), Err(CacheError::BadVersion(99))));
 }
 
 #[test]
 fn any_flipped_bit_fails_the_checksum() {
-    let golden = std::fs::read(fixture_path()).unwrap();
-    // Flip one bit in several positions across the body (past the
-    // version field, before the checksum itself).
-    for pos in [12, 20, golden.len() / 2, golden.len() - 9] {
-        let mut bytes = golden.clone();
-        bytes[pos] ^= 0x40;
-        let r = decode_table(&bytes);
-        assert!(
-            matches!(r, Err(CacheError::BadChecksum)),
-            "flip at {pos} gave {r:?} instead of BadChecksum"
-        );
+    for name in ["ptab_v1.bin", "ptab_v2.bin"] {
+        let golden = std::fs::read(fixture_path(name)).unwrap();
+        // Flip one bit in several positions across the body (past the
+        // version field, before the checksum itself).
+        for pos in [12, 20, golden.len() / 2, golden.len() - 9] {
+            let mut bytes = golden.clone();
+            bytes[pos] ^= 0x40;
+            let r = decode_table(&bytes);
+            assert!(
+                matches!(r, Err(CacheError::BadChecksum)),
+                "{name}: flip at {pos} gave {r:?} instead of BadChecksum"
+            );
+        }
     }
 }
 
 #[test]
 fn checksum_itself_is_covered() {
-    let mut bytes = std::fs::read(fixture_path()).unwrap();
+    let mut bytes = std::fs::read(fixture_path("ptab_v2.bin")).unwrap();
     let last = bytes.len() - 1;
     bytes[last] ^= 0x01;
     assert!(matches!(decode_table(&bytes), Err(CacheError::BadChecksum)));
@@ -146,7 +181,7 @@ fn checksum_itself_is_covered() {
 
 #[test]
 fn trailing_garbage_is_rejected() {
-    let mut bytes = std::fs::read(fixture_path()).unwrap();
+    let mut bytes = std::fs::read(fixture_path("ptab_v2.bin")).unwrap();
     bytes.extend_from_slice(&[0u8; 16]);
     // Appending bytes breaks the trailing checksum position.
     assert!(decode_table(&bytes).is_err());
